@@ -1,0 +1,200 @@
+package repro_test
+
+// One benchmark per reproduction experiment (see DESIGN.md's
+// per-experiment index). Each benchmark executes the corresponding
+// experiment from internal/expt in quick mode, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table of the evaluation; cmd/chkptbench runs the same
+// experiments with the full Monte-Carlo budget and prints the tables
+// recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expectation"
+	"repro/internal/expt"
+	"repro/internal/rng"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := expt.Config{Seed: 7, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE1FormulaValidation(b *testing.B) { runExperiment(b, "E1") }
+func BenchmarkE2Components(b *testing.B)        { runExperiment(b, "E2") }
+func BenchmarkE3Comparators(b *testing.B)       { runExperiment(b, "E3") }
+func BenchmarkE4Convexity(b *testing.B)         { runExperiment(b, "E4") }
+func BenchmarkE5Reduction(b *testing.B)         { runExperiment(b, "E5") }
+func BenchmarkE6ChainOptimality(b *testing.B)   { runExperiment(b, "E6") }
+func BenchmarkE7DPScaling(b *testing.B)         { runExperiment(b, "E7") }
+func BenchmarkE8Strategies(b *testing.B)        { runExperiment(b, "E8") }
+func BenchmarkE9Platform(b *testing.B)          { runExperiment(b, "E9") }
+func BenchmarkE10Downtime(b *testing.B)         { runExperiment(b, "E10") }
+func BenchmarkE11Weibull(b *testing.B)          { runExperiment(b, "E11") }
+func BenchmarkE12Extensions(b *testing.B)       { runExperiment(b, "E12") }
+
+// Micro-benchmarks of the core algorithms themselves, independent of the
+// experiment harness: these measure the library's hot paths.
+
+func benchChain(b *testing.B, n int) {
+	b.Helper()
+	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.01, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveChainDP(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainDP64(b *testing.B)   { benchChain(b, 64) }
+func BenchmarkChainDP256(b *testing.B)  { benchChain(b, 256) }
+func BenchmarkChainDP1024(b *testing.B) { benchChain(b, 1024) }
+func BenchmarkChainDP4096(b *testing.B) { benchChain(b, 4096) }
+
+func BenchmarkExpectedTime(b *testing.B) {
+	m, err := expectation.NewModel(0.01, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += m.ExpectedTime(10, 1, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkIndependentExact12(b *testing.B) {
+	r := rng.New(3)
+	weights := make([]float64, 12)
+	for i := range weights {
+		weights[i] = r.Range(1, 10)
+	}
+	m, err := expectation.NewModel(0.02, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip := &core.IndependentProblem{Weights: weights, Checkpoint: 0.5, Recovery: 0.5, Model: m}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveIndependentExact(ip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the Monge-pruned homogeneous solver vs the general O(n²) DP
+// on the same constant-cost instances — the speedup the paper's general
+// cost model gives up.
+
+func benchHomogeneous(b *testing.B, n int, pruned bool) {
+	b.Helper()
+	r := rng.New(2)
+	m, err := expectation.NewModel(0.02, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := &core.ChainProblem{
+		Weights:         make([]float64, n),
+		Ckpt:            make([]float64, n),
+		Rec:             make([]float64, n),
+		InitialRecovery: 0.3,
+		Model:           m,
+	}
+	for i := 0; i < n; i++ {
+		cp.Weights[i] = r.Range(0.5, 8)
+		cp.Ckpt[i] = 0.3
+		cp.Rec[i] = 0.3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if pruned {
+			_, err = core.SolveChainDPHomogeneous(cp)
+		} else {
+			_, err = core.SolveChainDP(cp)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomogeneousGeneral1024(b *testing.B) { benchHomogeneous(b, 1024, false) }
+func BenchmarkHomogeneousPruned1024(b *testing.B)  { benchHomogeneous(b, 1024, true) }
+func BenchmarkHomogeneousGeneral4096(b *testing.B) { benchHomogeneous(b, 4096, false) }
+func BenchmarkHomogeneousPruned4096(b *testing.B)  { benchHomogeneous(b, 4096, true) }
+
+func BenchmarkBoundedDP256Budget8(b *testing.B) {
+	g, err := dag.Chain(256, dag.DefaultWeights(), rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.01, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveChainDPBounded(cp, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndependentLPT100(b *testing.B) {
+	r := rng.New(4)
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = r.Range(1, 10)
+	}
+	m, err := expectation.NewModel(0.02, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip := &core.IndependentProblem{Weights: weights, Checkpoint: 0.5, Recovery: 0.5, Model: m}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveIndependentLPT(ip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command chkptbench runs the reproduction experiment suite (E1–E12; see
+// DESIGN.md for the per-experiment index and EXPERIMENTS.md for recorded
+// results) and prints the result tables.
+//
+// Usage:
+//
+//	chkptbench                 # run everything, full Monte-Carlo budget
+//	chkptbench -run E1,E5      # run selected experiments
+//	chkptbench -quick          # reduced Monte-Carlo budget
+//	chkptbench -seed 42        # change the master seed
+//	chkptbench -csv            # emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "reduced Monte-Carlo budget")
+		seed    = flag.Uint64("seed", 7, "master random seed")
+		csv     = flag.Bool("csv", false, "emit CSV tables")
+	)
+	flag.Parse()
+
+	cfg := expt.Config{Seed: *seed, Quick: *quick}
+	var selected []expt.Experiment
+	if *runList == "" {
+		selected = expt.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := expt.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chkptbench: unknown experiment %q; available:", id)
+				for _, a := range expt.All() {
+					fmt.Fprintf(os.Stderr, " %s", a.ID)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("### %s — %s\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chkptbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			var err error
+			if *csv {
+				err = t.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				err = t.Render(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chkptbench: render: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

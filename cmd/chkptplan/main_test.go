@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+func writeWorkflow(t *testing.T, g *dag.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wf.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunChainWorkflow(t *testing.T) {
+	g, err := dag.Chain(6, dag.DefaultWeights(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeWorkflow(t, g)
+	if err := run(path, 0.02, 0.5, 0, false, true, 0, ""); err != nil {
+		t.Fatalf("run on chain: %v", err)
+	}
+}
+
+func TestRunDAGWorkflow(t *testing.T) {
+	g, err := dag.ForkJoin(2, 2, dag.DefaultWeights(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeWorkflow(t, g)
+	if err := run(path, 0.02, 0.5, 0.1, false, false, 0, ""); err != nil {
+		t.Fatalf("run on DAG: %v", err)
+	}
+	if err := run(path, 0.02, 0.5, 0.1, true, false, 0, ""); err != nil {
+		t.Fatalf("run on DAG with live costs: %v", err)
+	}
+}
+
+func TestRunWritesPlanAndHonorsBudget(t *testing.T) {
+	g, err := dag.Chain(8, dag.DefaultWeights(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeWorkflow(t, g)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	if err := run(path, 0.05, 0.5, 0, false, false, 2, planPath); err != nil {
+		t.Fatalf("run with budget+out: %v", err)
+	}
+	f, err := os.Open(planPath)
+	if err != nil {
+		t.Fatalf("plan file not written: %v", err)
+	}
+	defer f.Close()
+	plan, err := core.ReadPlan(f)
+	if err != nil {
+		t.Fatalf("plan file unreadable: %v", err)
+	}
+	if got := plan.NumCheckpoints(); got > 2 {
+		t.Errorf("budget 2 violated: %d checkpoints in written plan", got)
+	}
+	if err := plan.Validate(g); err != nil {
+		t.Errorf("written plan invalid for workflow: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0.02, 0, 0, false, false, 0, ""); err == nil {
+		t.Error("missing file should fail")
+	}
+	g, err := dag.Chain(3, dag.DefaultWeights(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeWorkflow(t, g)
+	if err := run(path, -1, 0, 0, false, false, 0, ""); err == nil {
+		t.Error("invalid lambda should fail")
+	}
+	// Corrupt JSON.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, 0.02, 0, 0, false, false, 0, ""); err == nil {
+		t.Error("corrupt workflow should fail")
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+func writeChain(t *testing.T, n int) string {
+	t.Helper()
+	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wf.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExponential(t *testing.T) {
+	path := writeChain(t, 5)
+	if err := run(path, "exponential", 0.05, 0, 0.7, 1, 0.25, 2000, 1, ""); err != nil {
+		t.Fatalf("exponential sim: %v", err)
+	}
+}
+
+func TestRunWeibull(t *testing.T) {
+	path := writeChain(t, 5)
+	if err := run(path, "weibull", 0, 80, 0.7, 4, 0.25, 1000, 1, ""); err != nil {
+		t.Fatalf("weibull sim: %v", err)
+	}
+}
+
+func TestRunLogNormal(t *testing.T) {
+	path := writeChain(t, 4)
+	if err := run(path, "lognormal", 0, 80, 0.5, 2, 0.25, 1000, 1, ""); err != nil {
+		t.Fatalf("lognormal sim: %v", err)
+	}
+}
+
+func TestRunReplaysPlanOnDAG(t *testing.T) {
+	// A non-chain workflow becomes simulatable once a plan (with a full
+	// linearization) is supplied.
+	g, err := dag.ForkJoin(2, 2, dag.DefaultWeights(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	wfPath := filepath.Join(dir, "wf.json")
+	wf, err := os.Create(wfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(wf); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(order, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planPath := filepath.Join(dir, "plan.json")
+	pf, err := os.Create(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WritePlan(pf, plan); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	if err := run(wfPath, "exponential", 0.05, 0, 0, 1, 0.25, 1000, 1, planPath); err != nil {
+		t.Fatalf("replaying plan on DAG: %v", err)
+	}
+	// A plan that does not fit the workflow must be rejected.
+	short, err := core.NewPlan([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	bf, err := os.Create(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WritePlan(bf, short); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	if err := run(wfPath, "exponential", 0.05, 0, 0, 1, 0.25, 100, 1, badPath); err == nil {
+		t.Error("mismatched plan should be rejected")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeChain(t, 4)
+	if err := run(path, "weibull", 0, 0, 0.7, 1, 0, 100, 1, ""); err == nil {
+		t.Error("weibull without mtbf should fail")
+	}
+	if err := run(path, "cauchy", 0.05, 0, 0, 1, 0, 100, 1, ""); err == nil {
+		t.Error("unknown law should fail")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), "exponential", 0.05, 0, 0, 1, 0, 100, 1, ""); err == nil {
+		t.Error("missing file should fail")
+	}
+	// Non-chain workflow is rejected.
+	g, err := dag.ForkJoin(2, 1, dag.DefaultWeights(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dagPath := filepath.Join(t.TempDir(), "dag.json")
+	f, err := os.Create(dagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(dagPath, "exponential", 0.05, 0, 0, 1, 0, 100, 1, ""); err == nil {
+		t.Error("non-chain workflow should fail")
+	}
+}

@@ -1,0 +1,89 @@
+// Command tracegen generates synthetic failure traces (the stand-in for
+// production failure logs; see the substitution table in DESIGN.md),
+// writes them in the CSV format of internal/trace, and can fit laws back
+// from a trace.
+//
+// Usage:
+//
+//	tracegen -law weibull -shape 0.7 -mtbf 100 -nodes 64 -horizon 100000 > trace.csv
+//	tracegen -fit trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		law     = flag.String("law", "exponential", "failure law: exponential | weibull | lognormal")
+		mtbf    = flag.Float64("mtbf", 100, "per-node mean time between failures")
+		shape   = flag.Float64("shape", 0.7, "weibull shape / lognormal sigma")
+		nodes   = flag.Int("nodes", 16, "number of nodes")
+		horizon = flag.Float64("horizon", 100000, "trace horizon (time units)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		fit     = flag.String("fit", "", "fit laws to an existing trace file instead of generating")
+	)
+	flag.Parse()
+	if err := run(*law, *mtbf, *shape, *nodes, *horizon, *seed, *fit); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(law string, mtbf, shape float64, nodes int, horizon float64, seed uint64, fit string) error {
+	if fit != "" {
+		f, err := os.Open(fit)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		fs, err := tr.Fit()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d nodes, %d events, platform MTBF %.6g\n", tr.Nodes, len(tr.Events), fs.MTBF)
+		fmt.Printf("exponential fit: %s\n", fs.Exp)
+		fmt.Printf("weibull fit:     %s (shape < 1 ⇒ decreasing hazard: memoryless scheduling is suboptimal)\n", fs.Weib)
+		return nil
+	}
+
+	var dist failure.Distribution
+	switch law {
+	case "exponential":
+		e, err := failure.NewExponential(1 / mtbf)
+		if err != nil {
+			return err
+		}
+		dist = e
+	case "weibull":
+		w, err := failure.NewWeibull(shape, mtbf/math.Gamma(1+1/shape))
+		if err != nil {
+			return err
+		}
+		dist = w
+	case "lognormal":
+		l, err := failure.NewLogNormal(math.Log(mtbf)-shape*shape/2, shape)
+		if err != nil {
+			return err
+		}
+		dist = l
+	default:
+		return fmt.Errorf("unknown law %q", law)
+	}
+	tr, err := trace.Generate(dist, nodes, horizon, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	return tr.WriteCSV(os.Stdout)
+}

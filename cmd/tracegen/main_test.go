@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAllLaws(t *testing.T) {
+	// run() writes to stdout; redirect to a pipe-backed file.
+	for _, law := range []string{"exponential", "weibull", "lognormal"} {
+		law := law
+		t.Run(law, func(t *testing.T) {
+			old := os.Stdout
+			tmp, err := os.CreateTemp(t.TempDir(), "trace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.Stdout = tmp
+			err = run(law, 50, 0.7, 4, 5000, 1, "")
+			os.Stdout = old
+			if err != nil {
+				t.Fatalf("generate %s: %v", law, err)
+			}
+			info, err := tmp.Stat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() == 0 {
+				t.Error("no trace written")
+			}
+			tmp.Close()
+		})
+	}
+}
+
+func TestFitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	tmp, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = tmp
+	err = run("weibull", 50, 0.7, 8, 50000, 2, "")
+	os.Stdout = old
+	tmp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, 0, 0, 0, 0, path); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("cauchy", 50, 0.7, 4, 1000, 1, ""); err == nil {
+		t.Error("unknown law should fail")
+	}
+	if err := run("", 0, 0, 0, 0, 0, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing fit file should fail")
+	}
+}

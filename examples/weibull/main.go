@@ -1,0 +1,122 @@
+// Weibull: the general-failure-law extension (Section 6). Generates a
+// synthetic failure trace with the decreasing hazard rate reported for
+// production clusters, fits laws back from it, and compares the
+// exponential-fit DP placement against the Weibull-aware
+// maximize-expected-work placement by simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/expectation"
+	"repro/internal/failure"
+	"repro/internal/heuristic"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	r := rng.New(7)
+	const (
+		shape = 0.7  // Weibull shape of production failure logs
+		mtbf  = 60.0 // platform MTBF in hours
+		dtime = 0.25 // downtime
+		nTask = 24   // chain length
+		w     = 2.5  // per-task hours
+		c     = 0.4  // checkpoint cost
+	)
+
+	// 1. "Observe" a failure log (the Failure Trace Archive substitute).
+	weib, err := failure.NewWeibull(shape, mtbf/math.Gamma(1+1/shape))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Generate(weib, 1, 500000, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit, err := tr.Fit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic failure log: %d failures, MTBF %.2f h\n", len(tr.Events), fit.MTBF)
+	fmt.Printf("  exponential fit: %v\n", fit.Exp)
+	fmt.Printf("  weibull fit:     %v  ← shape < 1: decreasing hazard, memoryless models mislead\n\n", fit.Weib)
+
+	// 2. Plan with both models.
+	weights := make([]float64, nTask)
+	costs := make([]float64, nTask)
+	for i := range weights {
+		weights[i] = w
+		costs[i] = c
+	}
+	mExp, err := expectation.NewModel(fit.Exp.Lambda, dtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp := &core.ChainProblem{Weights: weights, Ckpt: costs, Rec: costs, Model: mExp}
+	expPlan, err := core.SolveChainDP(cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	surv, err := heuristic.FreshPlatformSurvival(fit.Weib, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weibPlan, err := heuristic.MaxSavedWorkDP(weights, c, surv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := func(ck []bool) int {
+		n := 0
+		for _, b := range ck {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("exponential-fit DP placement:     %d checkpoints\n", count(expPlan.CheckpointAfter))
+	fmt.Printf("weibull max-saved-work placement: %d checkpoints\n\n", count(weibPlan.CheckpointAfter))
+
+	// 3. Judge both under the true Weibull process.
+	factory := sim.SuperposedFactory(weib, 1, failure.RejuvenateFailedOnly)
+	simulate := func(ck []bool) float64 {
+		segs, err := cp.Segments(ck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.MonteCarlo(segs, factory, sim.Options{Downtime: dtime}, 40000, r.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Makespan.Mean()
+	}
+	eExp := simulate(expPlan.CheckpointAfter)
+	eWeib := simulate(weibPlan.CheckpointAfter)
+	fmt.Println("simulated mean makespan under the true Weibull failures (40k runs):")
+	fmt.Printf("  exponential-fit DP:  %.3f h\n", eExp)
+	fmt.Printf("  weibull-aware:       %.3f h  (%.2f%% vs exponential fit)\n",
+		eWeib, (eWeib/eExp-1)*100)
+	fmt.Println("\nno closed form exists for Weibull (the paper's third extension): these are")
+	fmt.Println("heuristics judged by simulation, exactly as Section 6 prescribes.")
+
+	// 4. History dependence: after surviving a long time, a k<1 platform
+	// is safer and the placement thins out.
+	fmt.Println("\ncheckpoints chosen vs platform age (k=0.7):")
+	for _, age := range []float64{0, 30, 120, 500} {
+		s, err := heuristic.AgedPlatformSurvival(weib, []float64{age})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := heuristic.MaxSavedWorkDP(weights, c, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  age %5.0f h → %d checkpoints\n", age, count(p.CheckpointAfter))
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+)
+
+// ChainResult is the output of the chain optimizers: the optimal expected
+// makespan and the checkpoint placement achieving it.
+type ChainResult struct {
+	// Expected is the optimal expected makespan E*.
+	Expected float64
+	// CheckpointAfter is the optimal checkpoint vector (final position
+	// always true).
+	CheckpointAfter []bool
+}
+
+// Positions returns the checkpointed positions of the result.
+func (r ChainResult) Positions() []int {
+	var out []int
+	for i, ck := range r.CheckpointAfter {
+		if ck {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SolveChainDP computes the optimal checkpoint placement for the chain
+// problem with the iterative form of Algorithm 1 (Proposition 3).
+//
+// Recurrence, 0-based over positions x ∈ [0, n):
+//
+//	E(x) = min_{j ∈ [x, n)}  e^{λ·rec(x)} (1/λ + D)(e^{λ(Σ_{i=x}^{j} w_i + C_j)} − 1) + E(j+1)
+//
+// with E(n) = 0 and rec(x) = R₀ for x = 0, R_{x−1} otherwise. Prefix sums
+// make each segment expectation O(1), so the total cost is O(n²) — the
+// complexity stated by Proposition 3.
+func SolveChainDP(cp *ChainProblem) (ChainResult, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	n := cp.Len()
+	prefix := make([]float64, n+1)
+	for i, w := range cp.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	best := make([]float64, n+1)
+	next := make([]int, n) // next[x] = end position j of the first segment of the optimal suffix plan from x
+	for x := n - 1; x >= 0; x-- {
+		rec := cp.recoveryBefore(x)
+		best[x] = infinity
+		next[x] = n - 1
+		for j := x; j < n; j++ {
+			w := prefix[j+1] - prefix[x]
+			cur := cp.Model.ExpectedTime(w, cp.Ckpt[j], rec) + best[j+1]
+			if cur < best[x] {
+				best[x] = cur
+				next[x] = j
+			}
+		}
+	}
+	ck := make([]bool, n)
+	for x := 0; x < n; {
+		j := next[x]
+		ck[j] = true
+		x = j + 1
+	}
+	return ChainResult{Expected: best[0], CheckpointAfter: ck}, nil
+}
+
+// SolveChainDPRecursive computes the same optimum with the memoized
+// recursion written exactly as Algorithm 1 in the paper (DPMakespan(x, n)
+// returning the pair ⟨best expectation, index of the task preceding the
+// first checkpoint⟩). It exists so tests can confirm the transcription of
+// the published pseudo-code agrees with the iterative solver.
+func SolveChainDPRecursive(cp *ChainProblem) (ChainResult, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	n := cp.Len()
+	prefix := make([]float64, n+1)
+	for i, w := range cp.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	type entry struct {
+		exp     float64
+		numTask int
+		done    bool
+	}
+	memo := make([]entry, n)
+
+	// dpMakespan mirrors Algorithm 1 with x 0-based: it computes the
+	// optimal expectation for executing positions x..n−1.
+	var dpMakespan func(x int) (float64, int)
+	dpMakespan = func(x int) (float64, int) {
+		if memo[x].done {
+			return memo[x].exp, memo[x].numTask
+		}
+		rec := cp.recoveryBefore(x)
+		if x == n-1 {
+			e := cp.Model.ExpectedTime(cp.Weights[n-1], cp.Ckpt[n-1], rec)
+			memo[x] = entry{exp: e, numTask: n - 1, done: true}
+			return e, n - 1
+		}
+		// "best ← execute everything to the end, checkpoint after T_n."
+		best := cp.Model.ExpectedTime(prefix[n]-prefix[x], cp.Ckpt[n-1], rec)
+		numTask := n - 1
+		for j := x; j <= n-2; j++ {
+			expSucc, _ := dpMakespan(j + 1)
+			cur := expSucc + cp.Model.ExpectedTime(prefix[j+1]-prefix[x], cp.Ckpt[j], rec)
+			if cur < best {
+				best = cur
+				numTask = j
+			}
+		}
+		memo[x] = entry{exp: best, numTask: numTask, done: true}
+		return best, numTask
+	}
+
+	exp, _ := dpMakespan(0)
+	ck := make([]bool, n)
+	for x := 0; x < n; {
+		_, j := dpMakespan(x)
+		ck[j] = true
+		x = j + 1
+	}
+	return ChainResult{Expected: exp, CheckpointAfter: ck}, nil
+}
+
+// BruteForceChain enumerates all 2^{n−1} checkpoint placements (the final
+// position is always checkpointed) and returns the best. It validates the
+// DP on small chains; n is capped to keep the enumeration tractable.
+func BruteForceChain(cp *ChainProblem) (ChainResult, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	n := cp.Len()
+	const maxN = 24
+	if n > maxN {
+		return ChainResult{}, fmt.Errorf("core: brute force limited to %d positions, got %d", maxN, n)
+	}
+	bestE := infinity
+	var bestCk []bool
+	ck := make([]bool, n)
+	ck[n-1] = true
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		for i := 0; i < n-1; i++ {
+			ck[i] = mask&(1<<i) != 0
+		}
+		e, err := cp.Makespan(ck)
+		if err != nil {
+			return ChainResult{}, err
+		}
+		if e < bestE {
+			bestE = e
+			bestCk = append(bestCk[:0], ck...)
+		}
+	}
+	out := make([]bool, n)
+	copy(out, bestCk)
+	return ChainResult{Expected: bestE, CheckpointAfter: out}, nil
+}
+
+// AlwaysCheckpoint returns the baseline placement that checkpoints after
+// every task.
+func AlwaysCheckpoint(cp *ChainProblem) (ChainResult, error) {
+	n := cp.Len()
+	ck := make([]bool, n)
+	for i := range ck {
+		ck[i] = true
+	}
+	e, err := cp.Makespan(ck)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return ChainResult{Expected: e, CheckpointAfter: ck}, nil
+}
+
+// NeverCheckpoint returns the baseline placement with only the mandatory
+// final checkpoint.
+func NeverCheckpoint(cp *ChainProblem) (ChainResult, error) {
+	n := cp.Len()
+	ck := make([]bool, n)
+	ck[n-1] = true
+	e, err := cp.Makespan(ck)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return ChainResult{Expected: e, CheckpointAfter: ck}, nil
+}
+
+// PeriodicCheckpoint returns the baseline that checkpoints as soon as the
+// accumulated work since the last checkpoint reaches the given period —
+// the divisible-load policy (Young/Daly) transplanted to non-divisible
+// tasks. A non-positive period degenerates to AlwaysCheckpoint.
+func PeriodicCheckpoint(cp *ChainProblem, period float64) (ChainResult, error) {
+	n := cp.Len()
+	ck := make([]bool, n)
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += cp.Weights[i]
+		if acc >= period {
+			ck[i] = true
+			acc = 0
+		}
+	}
+	ck[n-1] = true
+	e, err := cp.Makespan(ck)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return ChainResult{Expected: e, CheckpointAfter: ck}, nil
+}

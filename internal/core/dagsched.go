@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/expectation"
+)
+
+// CostModel abstracts what a checkpoint and a recovery cost on a
+// linearized DAG. The paper's base model (Section 2) charges the C_i/R_i
+// of the task right before the checkpoint; the Section 6 extension charges
+// a function of every live task — tasks executed in the segment whose
+// outputs are still needed.
+type CostModel interface {
+	// CheckpointCost returns the cost of a checkpoint taken after
+	// position end, when the current segment began at position start.
+	CheckpointCost(g *dag.Graph, order []int, start, end int) float64
+	// RecoveryCost returns the cost of recovering to the state
+	// checkpointed after position end.
+	RecoveryCost(g *dag.Graph, order []int, end int) float64
+	// InitialRecovery returns R₀, the restart cost before any checkpoint.
+	InitialRecovery() float64
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// LastTaskCosts is the paper's base cost model: C_j and R_j of the last
+// executed task j. For linear chains it is fully general (Section 6 notes
+// a single task's state ever needs saving).
+type LastTaskCosts struct {
+	// R0 is the initial-recovery cost.
+	R0 float64
+}
+
+// CheckpointCost returns C of the task at position end.
+func (lc LastTaskCosts) CheckpointCost(g *dag.Graph, order []int, _, end int) float64 {
+	return g.Task(order[end]).Checkpoint
+}
+
+// RecoveryCost returns R of the task at position end.
+func (lc LastTaskCosts) RecoveryCost(g *dag.Graph, order []int, end int) float64 {
+	return g.Task(order[end]).Recovery
+}
+
+// InitialRecovery returns R₀.
+func (lc LastTaskCosts) InitialRecovery() float64 { return lc.R0 }
+
+// Name implements CostModel.
+func (lc LastTaskCosts) Name() string { return "last-task" }
+
+// LiveSetCosts is the Section 6 extension model: a checkpoint after
+// position end saves every task of the current segment whose output is
+// still needed — i.e. tasks with a successor scheduled after end, plus
+// sinks (their outputs are final results). Checkpoint cost is the sum of
+// those tasks' C_i (the natural additive choice of f); recovery restores
+// the full live state, summing R_i over all live tasks of the prefix.
+type LiveSetCosts struct {
+	// R0 is the initial-recovery cost.
+	R0 float64
+}
+
+// liveAt reports whether the task at position i still has a live output
+// when the prefix [0, end] has executed.
+func liveAt(g *dag.Graph, order []int, executedBy []int, i, end int) bool {
+	id := order[i]
+	succ := g.Successors(id)
+	if len(succ) == 0 {
+		return true // sink: output is a final result
+	}
+	for _, s := range succ {
+		if executedBy[s] > end {
+			return true
+		}
+	}
+	return false
+}
+
+// positionsOf returns, for each task id, its position in order.
+func positionsOf(g *dag.Graph, order []int) []int {
+	pos := make([]int, g.Len())
+	for i, id := range order {
+		pos[id] = i
+	}
+	return pos
+}
+
+// CheckpointCost sums C_i over the live tasks of the segment [start, end].
+func (lv LiveSetCosts) CheckpointCost(g *dag.Graph, order []int, start, end int) float64 {
+	pos := positionsOf(g, order)
+	var sum float64
+	for i := start; i <= end; i++ {
+		if liveAt(g, order, pos, i, end) {
+			sum += g.Task(order[i]).Checkpoint
+		}
+	}
+	return sum
+}
+
+// RecoveryCost sums R_i over every live task of the prefix [0, end].
+func (lv LiveSetCosts) RecoveryCost(g *dag.Graph, order []int, end int) float64 {
+	pos := positionsOf(g, order)
+	var sum float64
+	for i := 0; i <= end; i++ {
+		if liveAt(g, order, pos, i, end) {
+			sum += g.Task(order[i]).Recovery
+		}
+	}
+	return sum
+}
+
+// InitialRecovery returns R₀.
+func (lv LiveSetCosts) InitialRecovery() float64 { return lv.R0 }
+
+// Name implements CostModel.
+func (lv LiveSetCosts) Name() string { return "live-set" }
+
+var (
+	_ CostModel = LastTaskCosts{}
+	_ CostModel = LiveSetCosts{}
+)
+
+// DAGResult is a full schedule for a DAG: the chosen linearization, the
+// optimal checkpoint placement for it, and the expected makespan.
+type DAGResult struct {
+	// Order is the linearization used.
+	Order []int
+	// CheckpointAfter is the optimal checkpoint vector for Order.
+	CheckpointAfter []bool
+	// Expected is the expected makespan.
+	Expected float64
+	// Strategy names the linearization heuristic that produced Order.
+	Strategy string
+}
+
+// Plan converts the result into a Plan.
+func (r DAGResult) Plan() Plan {
+	return Plan{Order: append([]int(nil), r.Order...), CheckpointAfter: append([]bool(nil), r.CheckpointAfter...)}
+}
+
+// SolveOrderDP computes the optimal checkpoint placement for a fixed
+// linearization of g under an arbitrary cost model: the Proposition 3
+// dynamic program generalized to segment-dependent checkpoint costs. The
+// recovery cost of a segment depends only on where the previous checkpoint
+// sits, so optimal substructure is preserved and the DP stays exact for
+// the given order. Complexity is O(n²) segment evaluations.
+func SolveOrderDP(g *dag.Graph, order []int, m expectation.Model, cm CostModel) (DAGResult, error) {
+	if err := m.Validate(); err != nil {
+		return DAGResult{}, err
+	}
+	n := len(order)
+	if n == 0 {
+		return DAGResult{}, fmt.Errorf("core: empty order")
+	}
+	if n != g.Len() {
+		return DAGResult{}, fmt.Errorf("core: order covers %d of %d tasks", n, g.Len())
+	}
+	prefix := make([]float64, n+1)
+	for i, id := range order {
+		prefix[i+1] = prefix[i] + g.Task(id).Weight
+	}
+	recBefore := func(x int) float64 {
+		if x == 0 {
+			return cm.InitialRecovery()
+		}
+		return cm.RecoveryCost(g, order, x-1)
+	}
+	best := make([]float64, n+1)
+	next := make([]int, n)
+	for x := n - 1; x >= 0; x-- {
+		rec := recBefore(x)
+		best[x] = infinity
+		next[x] = n - 1
+		for j := x; j < n; j++ {
+			w := prefix[j+1] - prefix[x]
+			ck := cm.CheckpointCost(g, order, x, j)
+			cur := m.ExpectedTime(w, ck, rec) + best[j+1]
+			if cur < best[x] {
+				best[x] = cur
+				next[x] = j
+			}
+		}
+	}
+	ckv := make([]bool, n)
+	for x := 0; x < n; {
+		j := next[x]
+		ckv[j] = true
+		x = j + 1
+	}
+	return DAGResult{Order: append([]int(nil), order...), CheckpointAfter: ckv, Expected: best[0]}, nil
+}
+
+// LinearizationStrategy produces a topological order of g.
+type LinearizationStrategy struct {
+	// Name identifies the strategy in tables.
+	Name string
+	// Order computes the linearization.
+	Order func(g *dag.Graph) ([]int, error)
+}
+
+// TopoOrderStrategy linearizes by the deterministic smallest-ID
+// topological order.
+func TopoOrderStrategy() LinearizationStrategy {
+	return LinearizationStrategy{
+		Name:  "topo-id",
+		Order: func(g *dag.Graph) ([]int, error) { return g.TopologicalOrder() },
+	}
+}
+
+// HeaviestFirstStrategy is a ready-list order that always schedules the
+// heaviest ready task next: it drains expensive work early so failures hit
+// before, not after, the bulk of the computation was re-executed.
+func HeaviestFirstStrategy() LinearizationStrategy {
+	return LinearizationStrategy{
+		Name: "heaviest-first",
+		Order: func(g *dag.Graph) ([]int, error) {
+			return readyListOrder(g, func(a, b dag.Task) bool {
+				if a.Weight != b.Weight {
+					return a.Weight > b.Weight
+				}
+				return a.ID < b.ID
+			})
+		},
+	}
+}
+
+// CheapCheckpointFirstStrategy schedules ready tasks with cheap
+// checkpoints first, creating early low-cost checkpoint opportunities.
+func CheapCheckpointFirstStrategy() LinearizationStrategy {
+	return LinearizationStrategy{
+		Name: "cheap-ckpt-first",
+		Order: func(g *dag.Graph) ([]int, error) {
+			return readyListOrder(g, func(a, b dag.Task) bool {
+				if a.Checkpoint != b.Checkpoint {
+					return a.Checkpoint < b.Checkpoint
+				}
+				return a.ID < b.ID
+			})
+		},
+	}
+}
+
+// MinLiveSetStrategy greedily picks the ready task minimizing the number
+// of live outputs after it runs — a pebbling-style heuristic that keeps
+// checkpoints small under the LiveSetCosts model.
+func MinLiveSetStrategy() LinearizationStrategy {
+	return LinearizationStrategy{
+		Name: "min-live-set",
+		Order: func(g *dag.Graph) ([]int, error) {
+			n := g.Len()
+			indeg := make([]int, n)
+			doneSucc := make([]int, n) // executed successors per task
+			executed := make([]bool, n)
+			for i := 0; i < n; i++ {
+				indeg[i] = len(g.Predecessors(i))
+			}
+			live := 0
+			order := make([]int, 0, n)
+			for len(order) < n {
+				bestID, bestDelta := -1, 0
+				for v := 0; v < n; v++ {
+					if executed[v] || indeg[v] != 0 {
+						continue
+					}
+					// Running v adds one live output (unless v is a sink,
+					// which also stays live) and completes some tasks'
+					// last successor, retiring their outputs.
+					delta := 1
+					for _, p := range g.Predecessors(v) {
+						if doneSucc[p] == len(g.Successors(p))-1 {
+							delta--
+						}
+					}
+					if bestID == -1 || delta < bestDelta || (delta == bestDelta && v < bestID) {
+						bestID, bestDelta = v, delta
+					}
+				}
+				if bestID == -1 {
+					return nil, dag.ErrCycle
+				}
+				executed[bestID] = true
+				order = append(order, bestID)
+				live += bestDelta
+				for _, p := range g.Predecessors(bestID) {
+					doneSucc[p]++
+				}
+				for _, s := range g.Successors(bestID) {
+					indeg[s]--
+				}
+			}
+			return order, nil
+		},
+	}
+}
+
+func readyListOrder(g *dag.Graph, less func(a, b dag.Task) bool) ([]int, error) {
+	n := g.Len()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Predecessors(i))
+	}
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool { return less(g.Task(ready[a]), g.Task(ready[b])) })
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, s := range g.Successors(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, dag.ErrCycle
+	}
+	return order, nil
+}
+
+// DefaultStrategies returns the linearization heuristics SolveDAG tries.
+func DefaultStrategies() []LinearizationStrategy {
+	return []LinearizationStrategy{
+		TopoOrderStrategy(),
+		HeaviestFirstStrategy(),
+		CheapCheckpointFirstStrategy(),
+		MinLiveSetStrategy(),
+	}
+}
+
+// SolveDAG schedules a general DAG heuristically: it tries every supplied
+// linearization strategy (DefaultStrategies when strategies is nil), runs
+// the exact per-order DP on each, and returns the best schedule found.
+// Proposition 2 says finding the globally optimal order is strongly
+// NP-hard, so a portfolio of orders with exact placement per order is the
+// principled heuristic.
+func SolveDAG(g *dag.Graph, m expectation.Model, cm CostModel, strategies []LinearizationStrategy) (DAGResult, error) {
+	if g.Len() == 0 {
+		return DAGResult{}, fmt.Errorf("core: empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		return DAGResult{}, err
+	}
+	if strategies == nil {
+		strategies = DefaultStrategies()
+	}
+	best := DAGResult{Expected: infinity}
+	for _, s := range strategies {
+		order, err := s.Order(g)
+		if err != nil {
+			return DAGResult{}, fmt.Errorf("core: strategy %s: %w", s.Name, err)
+		}
+		res, err := SolveOrderDP(g, order, m, cm)
+		if err != nil {
+			return DAGResult{}, fmt.Errorf("core: strategy %s: %w", s.Name, err)
+		}
+		res.Strategy = s.Name
+		if res.Expected < best.Expected {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// SolveDAGExhaustive enumerates every linearization (up to limit; 0 means
+// all) with the exact per-order DP and returns the global optimum over
+// enumerated orders. Exponential; used to validate SolveDAG on small
+// graphs.
+func SolveDAGExhaustive(g *dag.Graph, m expectation.Model, cm CostModel, limit int) (DAGResult, error) {
+	if g.Len() == 0 {
+		return DAGResult{}, fmt.Errorf("core: empty graph")
+	}
+	orders := g.AllTopologicalOrders(limit)
+	if len(orders) == 0 {
+		return DAGResult{}, dag.ErrCycle
+	}
+	best := DAGResult{Expected: infinity}
+	for _, order := range orders {
+		res, err := SolveOrderDP(g, order, m, cm)
+		if err != nil {
+			return DAGResult{}, err
+		}
+		res.Strategy = "exhaustive"
+		if res.Expected < best.Expected {
+			best = res
+		}
+	}
+	return best, nil
+}

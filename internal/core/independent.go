@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/expectation"
+)
+
+// IndependentProblem is the instance class of Proposition 2: n independent
+// tasks, homogeneous checkpoint and recovery costs. Because tasks are
+// independent and costs constant, a schedule is characterized (up to
+// irrelevant orderings) by the partition of tasks into checkpoint groups:
+// each group runs back-to-back and ends with one checkpoint, and the
+// expected makespan is the sum of Proposition 1 over groups,
+//
+//	E = Σ_g e^{λR} (1/λ + D) (e^{λ(S_g + C)} − 1),   S_g = Σ_{i∈g} w_i.
+//
+// As in the proof of Proposition 2, the recovery cost R applies uniformly
+// to every group, including the first.
+type IndependentProblem struct {
+	// Weights are the task durations w_i.
+	Weights []float64
+	// Checkpoint is the common checkpoint cost C.
+	Checkpoint float64
+	// Recovery is the common recovery cost R.
+	Recovery float64
+	// Model carries λ and D.
+	Model expectation.Model
+}
+
+// Validate checks the instance parameters.
+func (ip *IndependentProblem) Validate() error {
+	if len(ip.Weights) == 0 {
+		return fmt.Errorf("core: independent problem with no tasks")
+	}
+	for i, w := range ip.Weights {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("core: task %d has invalid weight %v", i, w)
+		}
+	}
+	if ip.Checkpoint < 0 || ip.Recovery < 0 {
+		return fmt.Errorf("core: negative checkpoint (%v) or recovery (%v) cost", ip.Checkpoint, ip.Recovery)
+	}
+	return ip.Model.Validate()
+}
+
+// TotalWork returns Σ w_i.
+func (ip *IndependentProblem) TotalWork() float64 {
+	var s float64
+	for _, w := range ip.Weights {
+		s += w
+	}
+	return s
+}
+
+// GroupCost returns the expected time of one group of total work s.
+func (ip *IndependentProblem) GroupCost(s float64) float64 {
+	return ip.Model.ExpectedTime(s, ip.Checkpoint, ip.Recovery)
+}
+
+// Grouping is a partition of the task indices into checkpoint groups.
+type Grouping struct {
+	// Groups partitions indices into Weights; each group ends with one
+	// checkpoint.
+	Groups [][]int
+	// Expected is the exact expected makespan of the grouping.
+	Expected float64
+}
+
+// Evaluate computes the exact expected makespan of an explicit partition
+// and checks that it is a partition.
+func (ip *IndependentProblem) Evaluate(groups [][]int) (float64, error) {
+	n := len(ip.Weights)
+	seen := make([]bool, n)
+	var total float64
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return 0, fmt.Errorf("%w: empty group %d", ErrBadPlan, gi)
+		}
+		var s float64
+		for _, i := range g {
+			if i < 0 || i >= n {
+				return 0, fmt.Errorf("%w: task index %d out of range", ErrBadPlan, i)
+			}
+			if seen[i] {
+				return 0, fmt.Errorf("%w: task %d in two groups", ErrBadPlan, i)
+			}
+			seen[i] = true
+			s += ip.Weights[i]
+		}
+		total += ip.GroupCost(s)
+	}
+	for i, ok := range seen {
+		if !ok {
+			return 0, fmt.Errorf("%w: task %d unscheduled", ErrBadPlan, i)
+		}
+	}
+	return total, nil
+}
+
+// Plan converts the grouping into an executable Plan: groups run
+// back-to-back in listed order, with a checkpoint after the last task of
+// each group.
+func (g Grouping) Plan() Plan {
+	var order []int
+	var ck []bool
+	for _, group := range g.Groups {
+		for gi, idx := range group {
+			order = append(order, idx)
+			ck = append(ck, gi == len(group)-1)
+		}
+	}
+	return Plan{Order: order, CheckpointAfter: ck}
+}
+
+// MaxExactIndependent bounds the exact solver's instance size: the subset
+// dynamic program enumerates all partitions in O(3^n).
+const MaxExactIndependent = 18
+
+// SolveIndependentExact computes the optimal grouping by dynamic
+// programming over subsets: f(S) = min over groups G ⊆ S containing S's
+// lowest-indexed task of cost(G) + f(S \ G). The lowest-task anchoring
+// enumerates each partition exactly once, for O(3^n) total work. The
+// strong NP-completeness of Proposition 2 says no algorithm polynomial in
+// n (and in the magnitudes) exists, so exponential exact search is the
+// expected tool at small scale.
+func SolveIndependentExact(ip *IndependentProblem) (Grouping, error) {
+	if err := ip.Validate(); err != nil {
+		return Grouping{}, err
+	}
+	n := len(ip.Weights)
+	if n > MaxExactIndependent {
+		return Grouping{}, fmt.Errorf("core: exact independent solver limited to %d tasks, got %d", MaxExactIndependent, n)
+	}
+	size := 1 << n
+	sum := make([]float64, size)
+	for mask := 1; mask < size; mask++ {
+		low := mask & -mask
+		sum[mask] = sum[mask^low] + ip.Weights[bits.TrailingZeros32(uint32(low))]
+	}
+	f := make([]float64, size)
+	choice := make([]int, size)
+	for mask := 1; mask < size; mask++ {
+		low := mask & -mask
+		f[mask] = infinity
+		// Enumerate submasks of mask containing the lowest set bit.
+		rest := mask ^ low
+		for sub := rest; ; sub = (sub - 1) & rest {
+			group := sub | low
+			if c := ip.GroupCost(sum[group]) + f[mask^group]; c < f[mask] {
+				f[mask] = c
+				choice[mask] = group
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	var groups [][]int
+	for mask := size - 1; mask != 0; {
+		g := choice[mask]
+		var idxs []int
+		for b := g; b != 0; b &= b - 1 {
+			idxs = append(idxs, bits.TrailingZeros32(uint32(b&-b)))
+		}
+		groups = append(groups, idxs)
+		mask ^= g
+	}
+	return Grouping{Groups: groups, Expected: f[size-1]}, nil
+}
+
+// LPTGrouping partitions the tasks into m groups with the
+// longest-processing-time rule: tasks in decreasing weight order, each
+// assigned to the currently lightest group. Balanced group sums minimize
+// Σ e^{λS_g} by convexity, which is exactly the structure exploited in the
+// proof of Proposition 2.
+func (ip *IndependentProblem) LPTGrouping(m int) (Grouping, error) {
+	if err := ip.Validate(); err != nil {
+		return Grouping{}, err
+	}
+	n := len(ip.Weights)
+	if m <= 0 || m > n {
+		return Grouping{}, fmt.Errorf("core: group count %d out of range [1, %d]", m, n)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ip.Weights[idx[a]] > ip.Weights[idx[b]] })
+	groups := make([][]int, m)
+	loads := make([]float64, m)
+	for _, i := range idx {
+		light := 0
+		for g := 1; g < m; g++ {
+			if loads[g] < loads[light] {
+				light = g
+			}
+		}
+		groups[light] = append(groups[light], i)
+		loads[light] += ip.Weights[i]
+	}
+	// Drop empty groups (possible when m approaches n with zero weights).
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	e, err := ip.Evaluate(out)
+	if err != nil {
+		return Grouping{}, err
+	}
+	return Grouping{Groups: out, Expected: e}, nil
+}
+
+// SolveIndependentLPT scans every group count m ∈ [1, n], balances with
+// LPT, and returns the best grouping found. It is the package's default
+// polynomial heuristic: O(n² log n).
+func SolveIndependentLPT(ip *IndependentProblem) (Grouping, error) {
+	if err := ip.Validate(); err != nil {
+		return Grouping{}, err
+	}
+	best := Grouping{Expected: infinity}
+	for m := 1; m <= len(ip.Weights); m++ {
+		g, err := ip.LPTGrouping(m)
+		if err != nil {
+			return Grouping{}, err
+		}
+		if g.Expected < best.Expected {
+			best = g
+		}
+	}
+	return best, nil
+}
+
+// SolveIndependentChunk targets the Lambert-W optimal chunk size: it
+// computes the divisible-load optimum W* (expectation.OptimalChunk), sets
+// m ≈ TotalWork/W*, and LPT-balances around m, trying m−1, m, m+1. It is
+// faster than the full LPT scan — O(n log n) — and near-optimal when task
+// granularity is fine relative to W*.
+func SolveIndependentChunk(ip *IndependentProblem) (Grouping, error) {
+	if err := ip.Validate(); err != nil {
+		return Grouping{}, err
+	}
+	n := len(ip.Weights)
+	chunk, err := expectation.OptimalChunk(ip.Checkpoint, ip.Model.Lambda)
+	if err != nil {
+		return Grouping{}, err
+	}
+	var target int
+	if chunk <= 0 {
+		target = n
+	} else {
+		target = int(math.Round(ip.TotalWork() / chunk))
+	}
+	best := Grouping{Expected: infinity}
+	for _, m := range []int{target - 1, target, target + 1} {
+		if m < 1 {
+			m = 1
+		}
+		if m > n {
+			m = n
+		}
+		g, err := ip.LPTGrouping(m)
+		if err != nil {
+			return Grouping{}, err
+		}
+		if g.Expected < best.Expected {
+			best = g
+		}
+	}
+	return best, nil
+}
+
+// SingleGroupPerTask returns the grouping that checkpoints after every
+// task (m = n), a baseline.
+func (ip *IndependentProblem) SingleGroupPerTask() (Grouping, error) {
+	groups := make([][]int, len(ip.Weights))
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	e, err := ip.Evaluate(groups)
+	if err != nil {
+		return Grouping{}, err
+	}
+	return Grouping{Groups: groups, Expected: e}, nil
+}
+
+// OneGroup returns the grouping with a single terminal checkpoint (m = 1),
+// a baseline.
+func (ip *IndependentProblem) OneGroup() (Grouping, error) {
+	n := len(ip.Weights)
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	groups := [][]int{g}
+	e, err := ip.Evaluate(groups)
+	if err != nil {
+		return Grouping{}, err
+	}
+	return Grouping{Groups: groups, Expected: e}, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// planFile is the on-disk JSON representation of a Plan: the execution
+// order plus the positions (indices into the order) that carry
+// checkpoints. cmd/chkptplan writes it; cmd/chkptsim replays it.
+type planFile struct {
+	Order       []int `json:"order"`
+	Checkpoints []int `json:"checkpoints"`
+}
+
+// MarshalJSON encodes the plan in the plan file format.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	return json.Marshal(planFile{Order: p.Order, Checkpoints: p.Checkpoints()})
+}
+
+// UnmarshalJSON decodes and validates the plan file format.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var pf planFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return fmt.Errorf("core: decode plan: %w", err)
+	}
+	fresh, err := NewPlan(pf.Order, pf.Checkpoints...)
+	if err != nil {
+		return err
+	}
+	// NewPlan silently adds the final checkpoint; reject files whose
+	// checkpoint list was inconsistent beyond that convenience.
+	for _, pos := range pf.Checkpoints {
+		if pos < 0 || pos >= len(pf.Order) {
+			return fmt.Errorf("%w: checkpoint position %d out of range", ErrBadPlan, pos)
+		}
+	}
+	*p = fresh
+	return nil
+}
+
+// WritePlan encodes the plan to w with indentation.
+func WritePlan(w io.Writer, p Plan) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadPlan decodes a plan from r.
+func ReadPlan(r io.Reader) (Plan, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: read plan: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

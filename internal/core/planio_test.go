@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p, err := NewPlan([]int{2, 0, 1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Order) != 4 {
+		t.Fatalf("order = %v", back.Order)
+	}
+	for i := range p.Order {
+		if p.Order[i] != back.Order[i] || p.CheckpointAfter[i] != back.CheckpointAfter[i] {
+			t.Fatalf("round trip changed plan at %d: %+v vs %+v", i, p, back)
+		}
+	}
+}
+
+func TestPlanJSONRejectsBad(t *testing.T) {
+	cases := []string{
+		`{"order":[],"checkpoints":[]}`,      // empty order
+		`{"order":[0,1],"checkpoints":[5]}`,  // out-of-range checkpoint
+		`{"order":[0,1],"checkpoints":[-1]}`, // negative checkpoint
+		`{nonsense`,                          // invalid JSON
+	}
+	for i, c := range cases {
+		if _, err := ReadPlan(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail: %s", i, c)
+		}
+	}
+}
+
+func TestPlanMarshalRejectsInvalid(t *testing.T) {
+	bad := Plan{Order: []int{0, 1}, CheckpointAfter: []bool{true, false}} // no final ckpt
+	if _, err := bad.MarshalJSON(); err == nil {
+		t.Error("invalid plan should not marshal")
+	}
+}

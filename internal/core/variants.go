@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file holds solver variants beyond the paper's Algorithm 1:
+//
+//   - SolveChainDPBounded: optimal placement using at most k checkpoints
+//     (checkpoint storage is often a constrained resource), in O(n²k);
+//   - SolveChainDPHomogeneous: a decision-monotone pruned solver for the
+//     homogeneous-cost case, exploiting a Monge property of the
+//     segment-cost matrix. It is an ablation of the paper's O(n²) bound:
+//     the generality of per-task costs is what blocks the pruning.
+
+// SolveChainDPBounded computes the optimal placement subject to using at
+// most maxCheckpoints checkpoints (including the mandatory final one).
+// The DP layers the Algorithm 1 recurrence by remaining budget:
+// E_k(x) = min_j segment(x, j) + E_{k−1}(j+1), for O(n²·k) total work.
+func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	n := cp.Len()
+	if maxCheckpoints < 1 {
+		return ChainResult{}, fmt.Errorf("core: need at least one checkpoint (the final one), got budget %d", maxCheckpoints)
+	}
+	if maxCheckpoints > n {
+		maxCheckpoints = n
+	}
+	prefix := make([]float64, n+1)
+	for i, w := range cp.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	// best[k][x]: optimal expected time for positions x..n−1 with at
+	// most k checkpoints. k = 0 is infeasible (every plan ends with a
+	// checkpoint).
+	best := make([][]float64, maxCheckpoints+1)
+	next := make([][]int, maxCheckpoints+1)
+	for k := range best {
+		best[k] = make([]float64, n+1)
+		next[k] = make([]int, n)
+		for x := 0; x < n; x++ {
+			best[k][x] = infinity
+			next[k][x] = -1
+		}
+	}
+	for k := 1; k <= maxCheckpoints; k++ {
+		for x := n - 1; x >= 0; x-- {
+			rec := cp.recoveryBefore(x)
+			// Option: single segment to the end.
+			e := cp.Model.ExpectedTime(prefix[n]-prefix[x], cp.Ckpt[n-1], rec)
+			best[k][x] = e
+			next[k][x] = n - 1
+			if k == 1 {
+				continue
+			}
+			for j := x; j < n-1; j++ {
+				if best[k-1][j+1] == infinity {
+					continue
+				}
+				cur := cp.Model.ExpectedTime(prefix[j+1]-prefix[x], cp.Ckpt[j], rec) + best[k-1][j+1]
+				if cur < best[k][x] {
+					best[k][x] = cur
+					next[k][x] = j
+				}
+			}
+		}
+	}
+	ck := make([]bool, n)
+	k := maxCheckpoints
+	for x := 0; x < n; {
+		j := next[k][x]
+		if j < 0 {
+			return ChainResult{}, fmt.Errorf("core: internal reconstruction failure at x=%d k=%d", x, k)
+		}
+		ck[j] = true
+		x = j + 1
+		if k > 1 {
+			k--
+		}
+	}
+	return ChainResult{Expected: best[maxCheckpoints][0], CheckpointAfter: ck}, nil
+}
+
+// IsHomogeneous reports whether all checkpoint costs and all recovery
+// costs are constant (including the initial recovery matching R), the
+// precondition of SolveChainDPHomogeneous.
+func (cp *ChainProblem) IsHomogeneous() bool {
+	n := cp.Len()
+	if n == 0 {
+		return false
+	}
+	c0, r0 := cp.Ckpt[0], cp.Rec[0]
+	for i := 1; i < n; i++ {
+		if cp.Ckpt[i] != c0 || cp.Rec[i] != r0 {
+			return false
+		}
+	}
+	return cp.InitialRecovery == r0
+}
+
+// SolveChainDPHomogeneous solves the constant-cost chain problem with a
+// decision-monotone pruned scan.
+//
+// Why the pruning is sound: with constant C and R, the segment cost
+// cost(x, j) = e^{λR}(1/λ+D)(e^{λ(P(j+1)−P(x)+C)} − 1) satisfies the
+// (concave) Monge / quadrangle inequality
+//
+//	cost(x, j) + cost(x+1, j+1) ≤ cost(x, j+1) + cost(x+1, j),
+//
+// because it factors as a(x)·b(j) + const with a(x) = e^{−λP(x)}
+// decreasing and b(j) = e^{λ(P(j+1)+C)} increasing: the cross-difference
+// telescopes to (b(j+1) − b(j))(a(x+1) − a(x)) ≤ 0. Monge costs make the
+// optimal first-checkpoint position next[x] of the suffix recurrence
+// E(x) = min_{j≥x} cost(x, j) + E(j+1) nondecreasing in x, so when
+// processing x right-to-left the scan can stop at next[x+1]. Per-task
+// costs break the monotonicity of b (and of the recovery factor), which
+// is why the paper's general algorithm stays O(n²).
+//
+// The pruned scan is exact whenever IsHomogeneous holds; it is typically
+// near-linear (the brackets [x, next[x+1]] are short when checkpoints are
+// frequent) with an O(n²) worst case in checkpoint-free regimes. Tests
+// verify it against SolveChainDP on random homogeneous instances.
+func SolveChainDPHomogeneous(cp *ChainProblem) (ChainResult, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	if !cp.IsHomogeneous() {
+		return ChainResult{}, fmt.Errorf("core: homogeneous solver requires constant C, R and R₀ = R")
+	}
+	n := cp.Len()
+	prefix := make([]float64, n+1)
+	for i, w := range cp.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	c := cp.Ckpt[0]
+	r := cp.Rec[0]
+	best := make([]float64, n+1)
+	next := make([]int, n+1)
+	next[n] = n - 1 // sentinel upper bracket for x = n−1
+	cost := func(x, j int) float64 {
+		return cp.Model.ExpectedTime(prefix[j+1]-prefix[x], c, r)
+	}
+	for x := n - 1; x >= 0; x-- {
+		// Monotone decisions: next[x] ≤ next[x+1]. (With Monge costs the
+		// optimal j is nondecreasing in x; we scan only the bracket.)
+		hi := n - 1
+		if x+1 <= n-1 {
+			hi = next[x+1]
+		}
+		bestE := infinity
+		bestJ := hi
+		for j := x; j <= hi; j++ {
+			cur := cost(x, j) + best[j+1]
+			if cur < bestE {
+				bestE = cur
+				bestJ = j
+			}
+		}
+		best[x] = bestE
+		next[x] = bestJ
+	}
+	ck := make([]bool, n)
+	for x := 0; x < n; {
+		j := next[x]
+		ck[j] = true
+		x = j + 1
+	}
+	return ChainResult{Expected: best[0], CheckpointAfter: ck}, nil
+}

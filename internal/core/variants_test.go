@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expectation"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+func homogeneousProblem(t *testing.T, n int, seed uint64, lambda, c float64) *ChainProblem {
+	t.Helper()
+	r := rng.New(seed)
+	m, err := expectation.NewModel(lambda, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &ChainProblem{
+		Weights:         make([]float64, n),
+		Ckpt:            make([]float64, n),
+		Rec:             make([]float64, n),
+		InitialRecovery: c,
+		Model:           m,
+	}
+	for i := 0; i < n; i++ {
+		cp.Weights[i] = r.Range(0.5, 8)
+		cp.Ckpt[i] = c
+		cp.Rec[i] = c
+	}
+	return cp
+}
+
+func TestBoundedMatchesUnboundedWithFullBudget(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		cp := randomChainProblem(t, 12, seed, 0.05, 0.3)
+		full, err := SolveChainDP(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded, err := SolveChainDPBounded(cp, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(full.Expected, bounded.Expected, 1e-9) {
+			t.Errorf("seed %d: bounded(full budget) %v ≠ unbounded %v", seed, bounded.Expected, full.Expected)
+		}
+	}
+}
+
+func TestBoundedMonotoneInBudget(t *testing.T) {
+	cp := randomChainProblem(t, 14, 3, 0.1, 0.3)
+	prev := infinity
+	for k := 1; k <= 14; k++ {
+		res, err := SolveChainDPBounded(cp, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Expected > prev+1e-9 {
+			t.Errorf("budget %d: expectation %v worse than smaller budget %v", k, res.Expected, prev)
+		}
+		if got := len(res.Positions()); got > k {
+			t.Errorf("budget %d: used %d checkpoints", k, got)
+		}
+		ev, err := cp.Makespan(res.CheckpointAfter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(ev, res.Expected, 1e-9) {
+			t.Errorf("budget %d: claimed %v, evaluates to %v", k, res.Expected, ev)
+		}
+		prev = res.Expected
+	}
+}
+
+func TestBoundedSingleCheckpoint(t *testing.T) {
+	cp := randomChainProblem(t, 10, 4, 0.05, 0.3)
+	res, err := SolveChainDPBounded(cp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never, err := NeverCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(res.Expected, never.Expected, 1e-9) {
+		t.Errorf("budget 1 %v ≠ never-checkpoint %v", res.Expected, never.Expected)
+	}
+}
+
+func TestBoundedValidation(t *testing.T) {
+	cp := randomChainProblem(t, 5, 5, 0.05, 0)
+	if _, err := SolveChainDPBounded(cp, 0); err == nil {
+		t.Error("budget 0 should fail")
+	}
+	// Budget beyond n is clamped, not an error.
+	if _, err := SolveChainDPBounded(cp, 50); err != nil {
+		t.Errorf("oversized budget should clamp: %v", err)
+	}
+}
+
+func TestIsHomogeneous(t *testing.T) {
+	cp := homogeneousProblem(t, 6, 1, 0.05, 0.4)
+	if !cp.IsHomogeneous() {
+		t.Error("homogeneous problem not recognized")
+	}
+	cp.Ckpt[2] = 9
+	if cp.IsHomogeneous() {
+		t.Error("heterogeneous checkpoint cost not detected")
+	}
+	cp2 := homogeneousProblem(t, 6, 1, 0.05, 0.4)
+	cp2.InitialRecovery = 0
+	if cp2.IsHomogeneous() {
+		t.Error("R₀ ≠ R not detected")
+	}
+}
+
+func TestHomogeneousMatchesGeneralDP(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, lambda := range []float64{1e-3, 0.02, 0.15, 0.5} {
+			for _, c := range []float64{0.05, 0.5, 3} {
+				cp := homogeneousProblem(t, 40, seed, lambda, c)
+				general, err := SolveChainDP(cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := SolveChainDPHomogeneous(cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !numeric.AlmostEqual(general.Expected, fast.Expected, 1e-9) {
+					t.Errorf("seed %d λ=%v C=%v: pruned %v ≠ general %v",
+						seed, lambda, c, fast.Expected, general.Expected)
+				}
+			}
+		}
+	}
+}
+
+func TestHomogeneousRejectsHeterogeneous(t *testing.T) {
+	cp := randomChainProblem(t, 8, 6, 0.05, 0.3)
+	if _, err := SolveChainDPHomogeneous(cp); err == nil {
+		t.Error("heterogeneous instance should be rejected")
+	}
+}

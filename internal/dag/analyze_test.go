@@ -1,0 +1,132 @@
+package dag
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLevels(t *testing.T) {
+	g := buildDiamond(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("diamond has %d levels, want 3", len(levels))
+	}
+	if len(levels[0]) != 1 || levels[0][0] != 0 {
+		t.Errorf("level 0 = %v", levels[0])
+	}
+	if len(levels[1]) != 2 {
+		t.Errorf("level 1 = %v", levels[1])
+	}
+	if len(levels[2]) != 1 || levels[2][0] != 3 {
+		t.Errorf("level 2 = %v", levels[2])
+	}
+}
+
+func TestLevelsChainAndIndependent(t *testing.T) {
+	r := rng.New(1)
+	chain, _ := Chain(5, DefaultWeights(), r)
+	lv, err := chain.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv) != 5 {
+		t.Errorf("chain has %d levels, want 5", len(lv))
+	}
+	ind, _ := Independent(5, DefaultWeights(), r)
+	lv, err = ind.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv) != 1 || len(lv[0]) != 5 {
+		t.Errorf("independent levels = %v", lv)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	g := buildDiamond(t)
+	s, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks != 4 || s.Edges != 4 || s.Depth != 3 || s.MaxWidth != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TotalWeight != 10 || s.CriticalPathWeight != 8 {
+		t.Errorf("weights = %v / %v", s.TotalWeight, s.CriticalPathWeight)
+	}
+	if s.SequentialFraction != 0.8 {
+		t.Errorf("sequential fraction = %v", s.SequentialFraction)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestAnalyzeChainIsFullySequential(t *testing.T) {
+	r := rng.New(2)
+	chain, _ := Chain(7, DefaultWeights(), r)
+	s, err := chain.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SequentialFraction != 1 {
+		t.Errorf("chain sequential fraction = %v, want 1", s.SequentialFraction)
+	}
+}
+
+func TestGNP(t *testing.T) {
+	r := rng.New(3)
+	g, err := GNP(20, 0.3, DefaultWeights(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 20 {
+		t.Errorf("GNP size = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("GNP produced invalid DAG: %v", err)
+	}
+	// p=0: no edges; p=1: complete DAG.
+	empty, _ := GNP(5, 0, DefaultWeights(), r)
+	if !empty.IsIndependent() {
+		t.Error("GNP(p=0) should have no edges")
+	}
+	full, _ := GNP(5, 1, DefaultWeights(), r)
+	if full.EdgeCount() != 10 {
+		t.Errorf("GNP(p=1) edges = %d, want 10", full.EdgeCount())
+	}
+	if _, err := GNP(0, 0.5, DefaultWeights(), r); err == nil {
+		t.Error("GNP(0) should fail")
+	}
+	if _, err := GNP(5, 1.5, DefaultWeights(), r); err == nil {
+		t.Error("GNP(p>1) should fail")
+	}
+}
+
+func TestIntreeFromChains(t *testing.T) {
+	r := rng.New(4)
+	g, err := IntreeFromChains(3, 2, DefaultWeights(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3*2+1 {
+		t.Errorf("intree size = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("intree invalid: %v", err)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 {
+		t.Errorf("intree sinks = %v, want 1", sinks)
+	}
+	if len(g.Predecessors(sinks[0])) != 3 {
+		t.Errorf("root has %d predecessors, want 3", len(g.Predecessors(sinks[0])))
+	}
+	if _, err := IntreeFromChains(0, 1, DefaultWeights(), r); err == nil {
+		t.Error("IntreeFromChains(0) should fail")
+	}
+}

@@ -1,0 +1,409 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.MustAddTask(Task{Name: "a", Weight: 1})
+	b := g.MustAddTask(Task{Name: "b", Weight: 2})
+	c := g.MustAddTask(Task{Name: "c", Weight: 3})
+	d := g.MustAddTask(Task{Name: "d", Weight: 4})
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	return g
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	g := New()
+	if _, err := g.AddTask(Task{Weight: -1}); err == nil {
+		t.Error("negative weight should be rejected")
+	}
+	id, err := g.AddTask(Task{Weight: 1})
+	if err != nil || id != 0 {
+		t.Fatalf("AddTask: id=%d err=%v", id, err)
+	}
+	if g.Task(0).Name != "T1" {
+		t.Errorf("default name = %q, want T1", g.Task(0).Name)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.MustAddTask(Task{Weight: 1})
+	b := g.MustAddTask(Task{Weight: 1})
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self-loop should be rejected")
+	}
+	if err := g.AddEdge(a, 5); err == nil {
+		t.Error("out-of-range target should be rejected")
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Error("duplicate edge should be rejected")
+	}
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d", g.EdgeCount())
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := buildDiamond(t)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < g.Len(); v++ {
+		for _, s := range g.Successors(v) {
+			if pos[s] < pos[v] {
+				t.Errorf("edge %d→%d violated in order %v", v, s, order)
+			}
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	a := g.MustAddTask(Task{Weight: 1})
+	b := g.MustAddTask(Task{Weight: 1})
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := g.TopologicalOrder(); err == nil {
+		t.Error("cycle should be detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate should fail on a cycle")
+	}
+}
+
+func TestIsLinearChain(t *testing.T) {
+	r := rng.New(1)
+	g, err := Chain(5, DefaultWeights(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, ok := g.IsLinearChain()
+	if !ok {
+		t.Fatal("Chain() must be a linear chain")
+	}
+	if len(order) != 5 {
+		t.Fatalf("chain order %v", order)
+	}
+	for i := 0; i+1 < len(order); i++ {
+		found := false
+		for _, s := range g.Successors(order[i]) {
+			if s == order[i+1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("chain order broken between %d and %d", order[i], order[i+1])
+		}
+	}
+	if _, ok := buildDiamond(t).IsLinearChain(); ok {
+		t.Error("diamond must not be a chain")
+	}
+	ind, _ := Independent(3, DefaultWeights(), r)
+	if _, ok := ind.IsLinearChain(); ok {
+		t.Error("independent tasks are not a chain")
+	}
+	if !ind.IsIndependent() {
+		t.Error("Independent() must have no edges")
+	}
+}
+
+func TestAllTopologicalOrders(t *testing.T) {
+	g := buildDiamond(t)
+	orders := g.AllTopologicalOrders(0)
+	if len(orders) != 2 { // a{bc|cb}d
+		t.Fatalf("diamond has %d linearizations, want 2", len(orders))
+	}
+	// With a limit.
+	if got := g.AllTopologicalOrders(1); len(got) != 1 {
+		t.Errorf("limit ignored: %d orders", len(got))
+	}
+	// Independent n tasks → n! orders.
+	ind, _ := Independent(4, DefaultWeights(), rng.New(2))
+	if got := ind.AllTopologicalOrders(0); len(got) != 24 {
+		t.Errorf("4 independent tasks have %d orders, want 24", len(got))
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := buildDiamond(t)
+	length, path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 1+3+4 {
+		t.Errorf("critical path length = %v, want 8", length)
+	}
+	want := []int{0, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestTransitiveClosureAndReduction(t *testing.T) {
+	g := buildDiamond(t)
+	// Add the redundant edge a→d.
+	g.MustAddEdge(0, 3)
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach[0][3] || !reach[0][1] || reach[3][0] {
+		t.Error("closure wrong")
+	}
+	red, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.EdgeCount() != 4 {
+		t.Errorf("reduction kept %d edges, want 4", red.EdgeCount())
+	}
+	redReach, _ := red.TransitiveClosure()
+	for i := range reach {
+		for j := range reach[i] {
+			if reach[i][j] != redReach[i][j] {
+				t.Errorf("reduction changed reachability at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := buildDiamond(t)
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Errorf("Sinks = %v", s)
+	}
+}
+
+func TestSetCostsAndTotalWeight(t *testing.T) {
+	g := buildDiamond(t)
+	g.SetCosts(0.5, 0.25)
+	for _, task := range g.Tasks() {
+		if task.Checkpoint != 0.5 || task.Recovery != 0.25 {
+			t.Fatalf("SetCosts not applied: %+v", task)
+		}
+	}
+	if g.TotalWeight() != 10 {
+		t.Errorf("TotalWeight = %v", g.TotalWeight())
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildDiamond(t)
+	c := g.Clone()
+	if c.Len() != g.Len() || c.EdgeCount() != g.EdgeCount() {
+		t.Fatal("clone shape differs")
+	}
+	c.SetCosts(9, 9)
+	if g.Task(0).Checkpoint == 9 {
+		t.Error("clone shares state with original")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := buildDiamond(t)
+	dot := g.DOT("d")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "t0 -> t1") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	r := rng.New(7)
+	ws := DefaultWeights()
+
+	fj, err := ForkJoin(3, 2, ws, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fj.Len() != 1+3*2+1 {
+		t.Errorf("fork-join size = %d", fj.Len())
+	}
+	if err := fj.Validate(); err != nil {
+		t.Errorf("fork-join invalid: %v", err)
+	}
+
+	lay, err := Layered(4, 3, 0.5, ws, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Len() != 12 {
+		t.Errorf("layered size = %d", lay.Len())
+	}
+	if err := lay.Validate(); err != nil {
+		t.Errorf("layered invalid: %v", err)
+	}
+	// Every non-first-layer task has at least one predecessor.
+	for i := 3; i < lay.Len(); i++ {
+		if len(lay.Predecessors(i)) == 0 {
+			t.Errorf("layered task %d has no predecessor", i)
+		}
+	}
+
+	elim, err := EliminationFront(4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := elim.Validate(); err != nil {
+		t.Errorf("elimination front invalid: %v", err)
+	}
+	if elim.Len() != 4+3+2+1 {
+		t.Errorf("elimination front size = %d, want 10", elim.Len())
+	}
+
+	mon, err := MontageLike(4, ws, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Validate(); err != nil {
+		t.Errorf("montage invalid: %v", err)
+	}
+	if len(mon.Sinks()) != 1 {
+		t.Errorf("montage should funnel into one sink, got %v", mon.Sinks())
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	r := rng.New(8)
+	ws := DefaultWeights()
+	if _, err := Chain(0, ws, r); err == nil {
+		t.Error("Chain(0) should fail")
+	}
+	if _, err := Independent(-1, ws, r); err == nil {
+		t.Error("Independent(-1) should fail")
+	}
+	if _, err := ForkJoin(0, 1, ws, r); err == nil {
+		t.Error("ForkJoin(0,1) should fail")
+	}
+	if _, err := Layered(1, 1, 2, ws, r); err == nil {
+		t.Error("density > 1 should fail")
+	}
+	if _, err := MontageLike(1, ws, r); err == nil {
+		t.Error("MontageLike(1) should fail")
+	}
+	if _, err := EliminationFront(0, 1, 1); err == nil {
+		t.Error("EliminationFront(0) should fail")
+	}
+	bad := ws
+	bad.MinWeight = -2
+	if _, err := Chain(3, bad, r); err == nil {
+		t.Error("negative weight spec should fail")
+	}
+}
+
+func TestIndependentWithWeights(t *testing.T) {
+	g, err := IndependentWithWeights([]float64{1, 2, 3}, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 || !g.IsIndependent() {
+		t.Error("wrong shape")
+	}
+	if _, err := IndependentWithWeights(nil, 0, 0); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := IndependentWithWeights([]float64{-1}, 0, 0); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildDiamond(t)
+	g.SetCosts(0.5, 0.25)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() || back.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("round trip changed shape: %d/%d tasks, %d/%d edges",
+			back.Len(), g.Len(), back.EdgeCount(), g.EdgeCount())
+	}
+	for i := 0; i < g.Len(); i++ {
+		a, b := g.Task(i), back.Task(i)
+		if a.Weight != b.Weight || a.Checkpoint != b.Checkpoint || a.Recovery != b.Recovery || a.Name != b.Name {
+			t.Errorf("task %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	// Random layered graphs survive a JSON round trip structurally
+	// intact, for many shapes.
+	for seed := uint64(0); seed < 12; seed++ {
+		r := rng.New(seed)
+		layers := 1 + r.IntN(4)
+		width := 1 + r.IntN(4)
+		g, err := Layered(layers, width, r.Float64(), DefaultWeights(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if back.Len() != g.Len() || back.EdgeCount() != g.EdgeCount() {
+			t.Fatalf("seed %d: shape changed", seed)
+		}
+		aStats, err := g.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bStats, err := back.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aStats != bStats {
+			t.Errorf("seed %d: stats changed: %v vs %v", seed, aStats, bStats)
+		}
+	}
+}
+
+func TestJSONRejectsCycle(t *testing.T) {
+	data := []byte(`{"tasks":[{"weight":1},{"weight":1}],"edges":[[0,1],[1,0]]}`)
+	g := New()
+	if err := g.UnmarshalJSON(data); err == nil {
+		t.Error("cyclic workflow should be rejected")
+	}
+}
+
+func TestJSONRejectsBadEdge(t *testing.T) {
+	data := []byte(`{"tasks":[{"weight":1}],"edges":[[0,3]]}`)
+	g := New()
+	if err := g.UnmarshalJSON(data); err == nil {
+		t.Error("out-of-range edge should be rejected")
+	}
+}

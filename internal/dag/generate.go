@@ -1,0 +1,254 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// WeightSpec controls randomized task parameters for the generators.
+type WeightSpec struct {
+	// MinWeight and MaxWeight bound the uniform task weights.
+	MinWeight, MaxWeight float64
+	// MinCheckpoint and MaxCheckpoint bound the uniform checkpoint costs.
+	MinCheckpoint, MaxCheckpoint float64
+	// RecoveryFactor scales each task's recovery cost from its checkpoint
+	// cost (R_i = RecoveryFactor · C_i); 1 matches the paper's common
+	// C = R assumption.
+	RecoveryFactor float64
+}
+
+// DefaultWeights returns the weight specification used by the experiment
+// suite: task weights in [1, 10] hours, checkpoint costs in [0.05, 0.5]
+// hours, and R_i = C_i.
+func DefaultWeights() WeightSpec {
+	return WeightSpec{
+		MinWeight: 1, MaxWeight: 10,
+		MinCheckpoint: 0.05, MaxCheckpoint: 0.5,
+		RecoveryFactor: 1,
+	}
+}
+
+func (ws WeightSpec) validate() error {
+	if ws.MinWeight < 0 || ws.MaxWeight < ws.MinWeight {
+		return fmt.Errorf("dag: invalid weight range [%v, %v]", ws.MinWeight, ws.MaxWeight)
+	}
+	if ws.MinCheckpoint < 0 || ws.MaxCheckpoint < ws.MinCheckpoint {
+		return fmt.Errorf("dag: invalid checkpoint range [%v, %v]", ws.MinCheckpoint, ws.MaxCheckpoint)
+	}
+	if ws.RecoveryFactor < 0 {
+		return fmt.Errorf("dag: negative recovery factor %v", ws.RecoveryFactor)
+	}
+	return nil
+}
+
+func (ws WeightSpec) sample(r *rng.Stream, name string) Task {
+	w := ws.MinWeight
+	if ws.MaxWeight > ws.MinWeight {
+		w = r.Range(ws.MinWeight, ws.MaxWeight)
+	}
+	c := ws.MinCheckpoint
+	if ws.MaxCheckpoint > ws.MinCheckpoint {
+		c = r.Range(ws.MinCheckpoint, ws.MaxCheckpoint)
+	}
+	return Task{Name: name, Weight: w, Checkpoint: c, Recovery: ws.RecoveryFactor * c}
+}
+
+// Chain generates a linear chain T1 → … → Tn with randomized parameters —
+// the application class of Proposition 3 (and of the scientific pipelines
+// cited in Section 2).
+func Chain(n int, ws WeightSpec, r *rng.Stream) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dag: chain length must be positive, got %d", n)
+	}
+	if err := ws.validate(); err != nil {
+		return nil, err
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.MustAddTask(ws.sample(r, fmt.Sprintf("T%d", i+1)))
+		if i > 0 {
+			g.MustAddEdge(i-1, i)
+		}
+	}
+	return g, nil
+}
+
+// Independent generates n tasks with no dependences — the instance class
+// of the NP-completeness proof (Proposition 2).
+func Independent(n int, ws WeightSpec, r *rng.Stream) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dag: task count must be positive, got %d", n)
+	}
+	if err := ws.validate(); err != nil {
+		return nil, err
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.MustAddTask(ws.sample(r, fmt.Sprintf("T%d", i+1)))
+	}
+	return g, nil
+}
+
+// IndependentWithWeights generates independent tasks with the exact given
+// weights and homogeneous costs — the shape produced by the 3-PARTITION
+// reduction.
+func IndependentWithWeights(weights []float64, checkpoint, recovery float64) (*Graph, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("dag: empty weight list")
+	}
+	g := New()
+	for i, w := range weights {
+		if _, err := g.AddTask(Task{
+			Name: fmt.Sprintf("T%d", i+1), Weight: w,
+			Checkpoint: checkpoint, Recovery: recovery,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ForkJoin generates a fork–join graph: a source task, `width` parallel
+// branches of `depth` tasks each, and a sink task.
+func ForkJoin(width, depth int, ws WeightSpec, r *rng.Stream) (*Graph, error) {
+	if width <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("dag: fork-join width and depth must be positive, got %d × %d", width, depth)
+	}
+	if err := ws.validate(); err != nil {
+		return nil, err
+	}
+	g := New()
+	src := g.MustAddTask(ws.sample(r, "fork"))
+	var lasts []int
+	for b := 0; b < width; b++ {
+		prev := src
+		for d := 0; d < depth; d++ {
+			id := g.MustAddTask(ws.sample(r, fmt.Sprintf("b%d.%d", b+1, d+1)))
+			g.MustAddEdge(prev, id)
+			prev = id
+		}
+		lasts = append(lasts, prev)
+	}
+	sink := g.MustAddTask(ws.sample(r, "join"))
+	for _, l := range lasts {
+		g.MustAddEdge(l, sink)
+	}
+	return g, nil
+}
+
+// Layered generates a layered random DAG: `layers` layers of `width` tasks
+// each; every task in layer l+1 depends on each task of layer l
+// independently with probability density (at least one predecessor is
+// enforced so the layering is real).
+func Layered(layers, width int, density float64, ws WeightSpec, r *rng.Stream) (*Graph, error) {
+	if layers <= 0 || width <= 0 {
+		return nil, fmt.Errorf("dag: layers and width must be positive, got %d × %d", layers, width)
+	}
+	if density < 0 || density > 1 {
+		return nil, fmt.Errorf("dag: density must be in [0, 1], got %v", density)
+	}
+	if err := ws.validate(); err != nil {
+		return nil, err
+	}
+	g := New()
+	prev := make([]int, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]int, 0, width)
+		for k := 0; k < width; k++ {
+			id := g.MustAddTask(ws.sample(r, fmt.Sprintf("L%d.%d", l+1, k+1)))
+			cur = append(cur, id)
+			if l > 0 {
+				linked := false
+				for _, p := range prev {
+					if r.Float64() < density {
+						g.MustAddEdge(p, id)
+						linked = true
+					}
+				}
+				if !linked {
+					g.MustAddEdge(prev[r.IntN(len(prev))], id)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g, nil
+}
+
+// EliminationFront generates the task graph of a right-looking dense
+// factorization front (the LU/QR workload of Section 3's numerical-kernel
+// model): step k has one panel task followed by (steps − k − 1) update
+// tasks; updates of step k precede the panel of step k+1. Task weights
+// shrink with the trailing matrix as in an N³-type factorization.
+func EliminationFront(steps int, baseWeight, checkpointCost float64) (*Graph, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("dag: steps must be positive, got %d", steps)
+	}
+	if baseWeight < 0 || checkpointCost < 0 {
+		return nil, fmt.Errorf("dag: negative base weight or checkpoint cost")
+	}
+	g := New()
+	prevUpdates := []int(nil)
+	for k := 0; k < steps; k++ {
+		frac := float64(steps-k) / float64(steps)
+		panel := g.MustAddTask(Task{
+			Name:       fmt.Sprintf("panel%d", k+1),
+			Weight:     baseWeight * frac * frac,
+			Checkpoint: checkpointCost * frac,
+			Recovery:   checkpointCost * frac,
+		})
+		for _, u := range prevUpdates {
+			g.MustAddEdge(u, panel)
+		}
+		updates := make([]int, 0, steps-k-1)
+		for j := k + 1; j < steps; j++ {
+			u := g.MustAddTask(Task{
+				Name:       fmt.Sprintf("upd%d.%d", k+1, j+1),
+				Weight:     baseWeight * frac * frac / 2,
+				Checkpoint: checkpointCost * frac,
+				Recovery:   checkpointCost * frac,
+			})
+			g.MustAddEdge(panel, u)
+			updates = append(updates, u)
+		}
+		prevUpdates = updates
+	}
+	return g, nil
+}
+
+// MontageLike generates a synthetic workflow shaped like the Montage
+// astronomy pipeline that motivates workflow checkpointing studies: a wide
+// projection stage, a pairwise-overlap stage, a fan-in fitting stage, then
+// a short tail chain (background correction, co-addition, output).
+func MontageLike(tiles int, ws WeightSpec, r *rng.Stream) (*Graph, error) {
+	if tiles < 2 {
+		return nil, fmt.Errorf("dag: montage needs at least 2 tiles, got %d", tiles)
+	}
+	if err := ws.validate(); err != nil {
+		return nil, err
+	}
+	g := New()
+	proj := make([]int, tiles)
+	for i := range proj {
+		proj[i] = g.MustAddTask(ws.sample(r, fmt.Sprintf("mProject%d", i+1)))
+	}
+	var diffs []int
+	for i := 0; i+1 < tiles; i++ {
+		d := g.MustAddTask(ws.sample(r, fmt.Sprintf("mDiff%d", i+1)))
+		g.MustAddEdge(proj[i], d)
+		g.MustAddEdge(proj[i+1], d)
+		diffs = append(diffs, d)
+	}
+	fit := g.MustAddTask(ws.sample(r, "mConcatFit"))
+	for _, d := range diffs {
+		g.MustAddEdge(d, fit)
+	}
+	bg := g.MustAddTask(ws.sample(r, "mBgModel"))
+	g.MustAddEdge(fit, bg)
+	add := g.MustAddTask(ws.sample(r, "mAdd"))
+	g.MustAddEdge(bg, add)
+	out := g.MustAddTask(ws.sample(r, "mJPEG"))
+	g.MustAddEdge(add, out)
+	return g, nil
+}

@@ -1,0 +1,101 @@
+package expectation
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// This file extends Proposition 1 beyond the paper: the same recursion
+// that yields E[T] in closed form also yields the second moment, hence
+// the variance of the time to execute work W and checkpoint C. Segment
+// completions are renewal points, so plan-level variances add across
+// segments — giving exact makespan variability, not just expectation.
+//
+// Derivation sketch (mirrors the proof of Proposition 1): with
+// x = W + C and p = e^{−λx},
+//
+//	T = x                    with probability p
+//	T = Tlost + Trec + T'    otherwise (T' an independent copy)
+//
+// so E[T²]·p = p·x² + (1−p)(E[L²] + E[R²] + 2(E[L]E[R] + (E[L]+E[R])·E[T]))
+// where L = Tlost is Exp(λ) truncated to [0, x] and R = Trec satisfies an
+// analogous recursion over recovery attempts.
+
+// truncExpMoments returns the first and second moments of an Exp(λ)
+// variable conditioned on being smaller than x.
+func truncExpMoments(lambda, x float64) (m1, m2 float64) {
+	if x <= 0 {
+		return 0, 0
+	}
+	lx := lambda * x
+	if lx > numeric.MaxExpArg {
+		// Conditioning is vacuous: plain exponential moments.
+		return 1 / lambda, 2 / (lambda * lambda)
+	}
+	denom := -math.Expm1(-lx) // 1 − e^{−λx}
+	elx := math.Exp(-lx)
+	m1 = (1/lambda - elx*(x+1/lambda)) / denom
+	m2 = (2/(lambda*lambda) - elx*(x*x+2*x/lambda+2/(lambda*lambda))) / denom
+	return m1, m2
+}
+
+// recoveryMoments returns E[Trec] and E[Trec²] for downtime D and
+// recovery length R under failure rate λ.
+func (m Model) recoveryMoments(r float64) (m1, m2 float64) {
+	lr := m.Lambda * r
+	if lr > numeric.MaxExpArg {
+		return math.Inf(1), math.Inf(1)
+	}
+	d := m.Downtime
+	m1 = d*math.Exp(lr) + math.Expm1(lr)/m.Lambda
+
+	pR := math.Exp(-lr)
+	qR := -math.Expm1(-lr)
+	lr1, lr2 := truncExpMoments(m.Lambda, r)
+	// E[(D+Lr)²] = D² + 2D·E[Lr] + E[Lr²].
+	dl2 := d*d + 2*d*lr1 + lr2
+	// E[Trec²]·pR = pR(D+R)² + qR(E[(D+Lr)²] + 2(D+E[Lr])·E[Trec]).
+	m2 = (pR*(d+r)*(d+r) + qR*(dl2+2*(d+lr1)*m1)) / pR
+	return m1, m2
+}
+
+// SecondMoment returns E[T²] for the Proposition 1 scenario: W units of
+// work plus a checkpoint C, downtime D and recovery R per failure.
+// Overflowing instances return +Inf.
+func (m Model) SecondMoment(w, c, r float64) float64 {
+	x := w + c
+	lx := m.Lambda * x
+	if lx > numeric.MaxExpArg || m.Lambda*r > numeric.MaxExpArg {
+		return math.Inf(1)
+	}
+	if x == 0 {
+		return 0
+	}
+	p := math.Exp(-lx)
+	q := -math.Expm1(-lx)
+	l1, l2 := truncExpMoments(m.Lambda, x)
+	r1, r2 := m.recoveryMoments(r)
+	et := m.ExpectedTime(w, c, r)
+	// E[T²]·p = p·x² + q·(E[L²] + E[R²] + 2(E[L]E[R] + (E[L]+E[R])E[T])).
+	return (p*x*x + q*(l2+r2+2*(l1*r1+(l1+r1)*et))) / p
+}
+
+// Variance returns Var[T] = E[T²] − E[T]².
+func (m Model) Variance(w, c, r float64) float64 {
+	et := m.ExpectedTime(w, c, r)
+	if math.IsInf(et, 1) {
+		return math.Inf(1)
+	}
+	v := m.SecondMoment(w, c, r) - et*et
+	if v < 0 {
+		// Cancellation guard for λ(W+C) ≈ 0 where Var → 0.
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the standard deviation of T.
+func (m Model) StdDev(w, c, r float64) float64 {
+	return math.Sqrt(m.Variance(w, c, r))
+}

@@ -1,0 +1,111 @@
+package expectation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestTruncExpMoments(t *testing.T) {
+	// Against numerical integration.
+	for _, c := range []struct{ lambda, x float64 }{
+		{0.5, 1}, {0.1, 10}, {2, 0.3}, {1, 5},
+	} {
+		denom := 1 - math.Exp(-c.lambda*c.x)
+		wantM1 := numeric.Integrate(func(t float64) float64 {
+			return t * c.lambda * math.Exp(-c.lambda*t)
+		}, 0, c.x, 1e-12) / denom
+		wantM2 := numeric.Integrate(func(t float64) float64 {
+			return t * t * c.lambda * math.Exp(-c.lambda*t)
+		}, 0, c.x, 1e-12) / denom
+		m1, m2 := truncExpMoments(c.lambda, c.x)
+		if !numeric.AlmostEqual(m1, wantM1, 1e-8) {
+			t.Errorf("λ=%v x=%v: m1 = %v, want %v", c.lambda, c.x, m1, wantM1)
+		}
+		if !numeric.AlmostEqual(m2, wantM2, 1e-8) {
+			t.Errorf("λ=%v x=%v: m2 = %v, want %v", c.lambda, c.x, m2, wantM2)
+		}
+	}
+	if m1, m2 := truncExpMoments(1, 0); m1 != 0 || m2 != 0 {
+		t.Error("zero horizon should have zero moments")
+	}
+}
+
+func TestTruncExpMomentsConsistency(t *testing.T) {
+	// The first moment must match the Eq. 4 form used by ExpectedLost.
+	m := mustModel(t, 0.2, 0)
+	for _, x := range []float64{0.5, 3, 20} {
+		m1, _ := truncExpMoments(0.2, x)
+		want := m.ExpectedLost(x, 0)
+		if !numeric.AlmostEqual(m1, want, 1e-10) {
+			t.Errorf("x=%v: truncated mean %v ≠ ExpectedLost %v", x, m1, want)
+		}
+	}
+}
+
+func TestVarianceSmallLambdaLimit(t *testing.T) {
+	// As λ → 0 failures vanish and T → W+C deterministically: Var → 0.
+	m := mustModel(t, 1e-9, 1)
+	v := m.Variance(10, 1, 1)
+	if v > 1e-3 {
+		t.Errorf("small-λ variance = %v, want ≈ 0", v)
+	}
+}
+
+func TestVarianceNonNegativeAndGrowing(t *testing.T) {
+	m := mustModel(t, 0.05, 0.5)
+	prev := -1.0
+	for _, w := range []float64{1, 5, 20, 80} {
+		v := m.Variance(w, 1, 1)
+		if v < 0 {
+			t.Fatalf("negative variance %v at W=%v", v, w)
+		}
+		if v <= prev {
+			t.Errorf("variance should grow with W: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSecondMomentDominatesSquaredMean(t *testing.T) {
+	m := mustModel(t, 0.1, 0.5)
+	for _, w := range []float64{1, 10, 50} {
+		et := m.ExpectedTime(w, 1, 2)
+		m2 := m.SecondMoment(w, 1, 2)
+		if m2 < et*et-1e-6*et*et {
+			t.Errorf("E[T²] = %v < E[T]² = %v at W=%v", m2, et*et, w)
+		}
+	}
+}
+
+func TestMomentsOverflow(t *testing.T) {
+	m := mustModel(t, 1, 0)
+	if !math.IsInf(m.SecondMoment(1e4, 0, 0), 1) {
+		t.Error("overflow second moment should be +Inf")
+	}
+	if !math.IsInf(m.Variance(1e4, 0, 0), 1) {
+		t.Error("overflow variance should be +Inf")
+	}
+}
+
+func TestStdDevSqrt(t *testing.T) {
+	m := mustModel(t, 0.05, 0.5)
+	v := m.Variance(10, 1, 1)
+	if got := m.StdDev(10, 1, 1); !numeric.AlmostEqual(got*got, v, 1e-9) {
+		t.Errorf("StdDev² = %v, want %v", got*got, v)
+	}
+}
+
+func TestRecoveryMomentsZeroRecovery(t *testing.T) {
+	// R = 0: Trec is exactly the downtime D (no failure can strike a
+	// zero-length recovery).
+	m := mustModel(t, 0.3, 2)
+	m1, m2 := m.recoveryMoments(0)
+	if !numeric.AlmostEqual(m1, 2, 1e-12) {
+		t.Errorf("E[Trec] = %v, want 2", m1)
+	}
+	if !numeric.AlmostEqual(m2, 4, 1e-12) {
+		t.Errorf("E[Trec²] = %v, want 4", m2)
+	}
+}

@@ -1,0 +1,207 @@
+// Package expt is the experiment harness: it defines one runnable
+// experiment per checkable claim of the paper (see DESIGN.md's
+// per-experiment index) and renders their results as plain-text tables.
+// The same experiments back cmd/chkptbench and the root-level Go
+// benchmarks, and their outputs are the evidence recorded in
+// EXPERIMENTS.md.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives every random choice; equal seeds reproduce tables
+	// bit-for-bit.
+	Seed uint64
+	// Quick trades Monte-Carlo precision for speed (used by `go test
+	// -bench` so the full suite stays fast; the recorded tables use the
+	// full budget).
+	Quick bool
+}
+
+// Runs picks a Monte-Carlo budget: full when !Quick, reduced otherwise.
+func (c Config) Runs(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment ID (e.g. "E1"); Title describes the table.
+	ID, Title string
+	// Columns holds the header cells.
+	Columns []string
+	// Rows holds the data cells; each row must have len(Columns) cells.
+	Rows [][]string
+	// Notes are printed under the table (pass/fail criteria, caveats).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (quotes around cells
+// containing commas).
+func (t *Table) CSV(w io.Writer) error {
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		qs := make([]string, len(cells))
+		for i, c := range cells {
+			qs[i] = quote(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(qs, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is a named, runnable reproduction of one paper claim.
+type Experiment struct {
+	// ID is the index key ("E1".."E12").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites what part of the paper the experiment checks.
+	Claim string
+	// Run executes the experiment.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric ordering of E1..E12.
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll executes every experiment and renders results to w.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "### %s — %s\nclaim: %s\n\n", e.ID, e.Title, e.Claim); err != nil {
+			return err
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("expt: %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fm formats a float compactly for tables.
+func fm(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// fe formats in scientific notation for error columns.
+func fe(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// fb formats a pass/fail cell.
+func fb(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

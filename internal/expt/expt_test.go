@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		var got int
+		if _, err := fmtSscanfID(e.ID, &got); err != nil || got != want {
+			t.Errorf("experiment %d has ID %s", i, e.ID)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s is incomplete", e.ID)
+		}
+	}
+}
+
+func fmtSscanfID(id string, out *int) (int, error) {
+	var n int
+	k, err := sscanf(id, &n)
+	*out = n
+	return k, err
+}
+
+func sscanf(id string, n *int) (int, error) {
+	if !strings.HasPrefix(id, "E") {
+		return 0, errBadID
+	}
+	v := 0
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			return 0, errBadID
+		}
+		v = v*10 + int(r-'0')
+	}
+	*n = v
+	return 1, nil
+}
+
+var errBadID = &badIDError{}
+
+type badIDError struct{}
+
+func (*badIDError) Error() string { return "bad experiment ID" }
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID: "T", Title: "demo",
+		Columns: []string{"a", "bbbb"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T: demo ==", "a    bbbb", "333  4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Columns: []string{"x", "y"}}
+	tb.AddRow("1", "has,comma")
+	tb.AddRow(`q"uote`, "2")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"q""uote"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestConfigRuns(t *testing.T) {
+	full := Config{}
+	quick := Config{Quick: true}
+	if full.Runs(100, 10) != 100 || quick.Runs(100, 10) != 10 {
+		t.Error("Runs selection wrong")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the entire suite in quick mode:
+// every experiment must complete without error and produce at least one
+// table with consistent shape, and no pass/fail note may report "NO".
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run skipped with -short")
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Errorf("%s table %q is empty", e.ID, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Errorf("%s table %q: row width %d ≠ %d columns", e.ID, tb.Title, len(row), len(tb.Columns))
+					}
+				}
+				for _, n := range tb.Notes {
+					if strings.Contains(n, "→ NO") {
+						t.Errorf("%s table %q reports failed criterion: %s", e.ID, tb.Title, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	var buf bytes.Buffer
+	// Run only E4 (pure analytical, fast) through the full renderer by
+	// using a registry subset via ByID.
+	e, ok := ByID("E4")
+	if !ok {
+		t.Fatal("E4 missing")
+	}
+	tables, err := e.Run(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Error("no render output")
+	}
+}

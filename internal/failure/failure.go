@@ -1,0 +1,330 @@
+// Package failure models the stochastic failure processes of the paper:
+// Exponential inter-arrival times in the core model (Section 2), and the
+// Weibull / log-normal laws of the Section 6 extension. It also provides
+// the platform-level process obtained by superposing p independent
+// per-processor processes, with the rejuvenation policies discussed in the
+// related-work comparison with Bouguerra et al.
+package failure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Distribution is a positive continuous distribution of failure
+// inter-arrival times.
+type Distribution interface {
+	// Sample draws one inter-arrival time.
+	Sample(r *rng.Stream) float64
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Mean returns E[X] (the MTBF of the process it generates).
+	Mean() float64
+	// String describes the distribution for experiment tables.
+	String() string
+}
+
+// HazardRater is implemented by distributions with a tractable hazard rate
+// h(t) = f(t)/S(t); general-law scheduling heuristics use it.
+type HazardRater interface {
+	Hazard(t float64) float64
+}
+
+// Survivaler is implemented by distributions with a tractable survival
+// function S(t) = 1 − CDF(t). All distributions in this package implement
+// it; it is split out so algorithms can state the capability they need.
+type Survivaler interface {
+	Survival(t float64) float64
+}
+
+// Exponential is the memoryless law of the paper's core model.
+type Exponential struct {
+	Lambda float64 // failure rate; MTBF = 1/Lambda
+}
+
+// NewExponential returns an Exponential law with rate lambda (> 0).
+func NewExponential(lambda float64) (Exponential, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return Exponential{}, fmt.Errorf("failure: exponential rate must be positive and finite, got %v", lambda)
+	}
+	return Exponential{Lambda: lambda}, nil
+}
+
+// Sample draws an Exp(λ) variate.
+func (e Exponential) Sample(r *rng.Stream) float64 { return r.ExpFloat64() / e.Lambda }
+
+// CDF returns 1 − e^{−λx}.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+// Survival returns e^{−λx}.
+func (e Exponential) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-e.Lambda * x)
+}
+
+// Hazard returns the constant hazard rate λ.
+func (e Exponential) Hazard(float64) float64 { return e.Lambda }
+
+// Mean returns 1/λ.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(λ=%g)", e.Lambda) }
+
+// Weibull has survival S(t) = exp(−(t/Scale)^Shape). Shape < 1 gives the
+// decreasing hazard rate reported for production HPC failure logs
+// (Schroeder & Gibson; Heien et al.), the regime where memoryless
+// scheduling is suboptimal.
+type Weibull struct {
+	Shape float64 // k
+	Scale float64 // η
+}
+
+// NewWeibull validates and returns a Weibull law.
+func NewWeibull(shape, scale float64) (Weibull, error) {
+	if shape <= 0 || scale <= 0 {
+		return Weibull{}, fmt.Errorf("failure: weibull shape and scale must be positive, got k=%v η=%v", shape, scale)
+	}
+	return Weibull{Shape: shape, Scale: scale}, nil
+}
+
+// Sample draws by inversion: η·(−ln U)^{1/k}.
+func (w Weibull) Sample(r *rng.Stream) float64 {
+	return w.Scale * math.Pow(r.ExpFloat64(), 1/w.Shape)
+}
+
+// CDF returns 1 − exp(−(x/η)^k).
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Survival returns exp(−(x/η)^k).
+func (w Weibull) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Hazard returns (k/η)·(t/η)^{k−1}.
+func (w Weibull) Hazard(t float64) float64 {
+	if t <= 0 {
+		if w.Shape < 1 {
+			return math.Inf(1)
+		}
+		if w.Shape == 1 {
+			return 1 / w.Scale
+		}
+		return 0
+	}
+	return w.Shape / w.Scale * math.Pow(t/w.Scale, w.Shape-1)
+}
+
+// Mean returns η·Γ(1 + 1/k).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(k=%g, η=%g)", w.Shape, w.Scale) }
+
+// LogNormal has ln X ~ N(Mu, Sigma²).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal validates and returns a log-normal law.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if sigma <= 0 {
+		return LogNormal{}, fmt.Errorf("failure: log-normal sigma must be positive, got %v", sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample draws exp(μ + σZ).
+func (l LogNormal) Sample(r *rng.Stream) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// CDF returns Φ((ln x − μ)/σ).
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// Survival returns 1 − CDF(x).
+func (l LogNormal) Survival(x float64) float64 { return 1 - l.CDF(x) }
+
+// Mean returns exp(μ + σ²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) String() string { return fmt.Sprintf("LogN(μ=%g, σ=%g)", l.Mu, l.Sigma) }
+
+// Uniform is the law on [Lo, Hi] used by Bouguerra–Trystram–Wagner in
+// their weak NP-completeness result, provided here for the extension
+// experiments.
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform validates and returns a uniform law on [lo, hi].
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if lo < 0 || hi <= lo {
+		return Uniform{}, fmt.Errorf("failure: uniform requires 0 ≤ lo < hi, got [%v, %v]", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Sample draws uniformly on [Lo, Hi).
+func (u Uniform) Sample(r *rng.Stream) float64 { return r.Range(u.Lo, u.Hi) }
+
+// CDF returns the linear CDF clamped to [0, 1].
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Survival returns 1 − CDF(x).
+func (u Uniform) Survival(x float64) float64 { return 1 - u.CDF(x) }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("U[%g, %g]", u.Lo, u.Hi) }
+
+// Deterministic always returns Value. Useful in tests to script failures.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns Value.
+func (d Deterministic) Sample(*rng.Stream) float64 { return d.Value }
+
+// CDF is the step function at Value.
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}
+
+// Survival returns 1 − CDF(x).
+func (d Deterministic) Survival(x float64) float64 { return 1 - d.CDF(x) }
+
+// Mean returns Value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Compile-time interface checks.
+var (
+	_ Distribution = Exponential{}
+	_ Distribution = Weibull{}
+	_ Distribution = LogNormal{}
+	_ Distribution = Uniform{}
+	_ Distribution = Deterministic{}
+	_ HazardRater  = Exponential{}
+	_ HazardRater  = Weibull{}
+	_ Survivaler   = Exponential{}
+	_ Survivaler   = Weibull{}
+	_ Survivaler   = LogNormal{}
+	_ Survivaler   = Uniform{}
+	_ Survivaler   = Deterministic{}
+)
+
+// ErrEmptySample is returned by fitters invoked on empty data.
+var ErrEmptySample = errors.New("failure: empty sample")
+
+// FitExponential returns the maximum-likelihood Exponential law for the
+// observed inter-arrival times (rate = 1/mean).
+func FitExponential(samples []float64) (Exponential, error) {
+	if len(samples) == 0 {
+		return Exponential{}, ErrEmptySample
+	}
+	var sum float64
+	for _, s := range samples {
+		if s < 0 {
+			return Exponential{}, fmt.Errorf("failure: negative inter-arrival time %v", s)
+		}
+		sum += s
+	}
+	if sum == 0 {
+		return Exponential{}, errors.New("failure: all inter-arrival times are zero")
+	}
+	return Exponential{Lambda: float64(len(samples)) / sum}, nil
+}
+
+// FitWeibull estimates a Weibull law by maximum likelihood: the shape
+// solves the standard one-dimensional MLE fixed-point equation (found by
+// bisection), and the scale follows in closed form.
+func FitWeibull(samples []float64) (Weibull, error) {
+	if len(samples) == 0 {
+		return Weibull{}, ErrEmptySample
+	}
+	logs := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s <= 0 {
+			return Weibull{}, fmt.Errorf("failure: non-positive inter-arrival time %v", s)
+		}
+		logs = append(logs, math.Log(s))
+	}
+	var meanLog float64
+	for _, l := range logs {
+		meanLog += l
+	}
+	meanLog /= float64(len(logs))
+
+	// MLE condition: 1/k = Σ x^k ln x / Σ x^k − mean(ln x).
+	g := func(k float64) float64 {
+		var num, den float64
+		for i, s := range samples {
+			xk := math.Pow(s, k)
+			num += xk * logs[i]
+			den += xk
+		}
+		return 1/k - (num/den - meanLog)
+	}
+	// Bracket: g is decreasing in k; scan for a sign change.
+	lo, hi := 1e-3, 1.0
+	for g(hi) > 0 && hi < 1e6 {
+		lo = hi
+		hi *= 2
+	}
+	if g(hi) > 0 {
+		return Weibull{}, errors.New("failure: weibull MLE did not bracket (degenerate sample)")
+	}
+	k := lo
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		k = (lo + hi) / 2
+	}
+	var sumXk float64
+	for _, s := range samples {
+		sumXk += math.Pow(s, k)
+	}
+	scale := math.Pow(sumXk/float64(len(samples)), 1/k)
+	return Weibull{Shape: k, Scale: scale}, nil
+}

@@ -1,0 +1,95 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestGammaValidation(t *testing.T) {
+	if _, err := NewGamma(0, 1); err == nil {
+		t.Error("zero shape should be rejected")
+	}
+	if _, err := NewGamma(1, -1); err == nil {
+		t.Error("negative scale should be rejected")
+	}
+	if _, err := NewGamma(2, 3); err != nil {
+		t.Errorf("valid gamma rejected: %v", err)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	g, _ := NewGamma(2.5, 4)
+	if g.Mean() != 10 {
+		t.Errorf("Mean = %v, want 10", g.Mean())
+	}
+	m := sampleMean(g, 300000, 7)
+	if math.Abs(m-10)/10 > 0.01 {
+		t.Errorf("sample mean = %v, want ≈ 10", m)
+	}
+}
+
+func TestGammaShape1IsExponential(t *testing.T) {
+	// Gamma(1, θ) = Exp(1/θ).
+	g, _ := NewGamma(1, 5)
+	e, _ := NewExponential(0.2)
+	for _, x := range []float64{0.5, 2, 10, 30} {
+		if math.Abs(g.CDF(x)-e.CDF(x)) > 1e-10 {
+			t.Errorf("Gamma(1,5).CDF(%v) = %v, want %v", x, g.CDF(x), e.CDF(x))
+		}
+	}
+}
+
+func TestGammaCDFKnownValues(t *testing.T) {
+	// P(k=2, x=2) with θ=1: 1 − e^{−2}(1+2) = 0.59399…
+	g, _ := NewGamma(2, 1)
+	want := 1 - math.Exp(-2)*3
+	if got := g.CDF(2); math.Abs(got-want) > 1e-10 {
+		t.Errorf("CDF(2) = %v, want %v", got, want)
+	}
+	if g.CDF(0) != 0 || g.CDF(-1) != 0 {
+		t.Error("CDF at non-positive x should be 0")
+	}
+	// Survival complements.
+	if math.Abs(g.CDF(3)+g.Survival(3)-1) > 1e-12 {
+		t.Error("CDF + Survival ≠ 1")
+	}
+}
+
+func TestGammaSamplerMatchesCDF(t *testing.T) {
+	for _, g := range []Gamma{{Shape: 0.5, Scale: 2}, {Shape: 1, Scale: 1}, {Shape: 3.5, Scale: 0.7}} {
+		r := rng.New(42)
+		sample := make([]float64, 20000)
+		for i := range sample {
+			sample[i] = g.Sample(r)
+		}
+		ok, d, err := stats.KSTest(sample, g.CDF, 0.01)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !ok {
+			t.Errorf("%v sampler rejected by KS (D = %v)", g, d)
+		}
+	}
+}
+
+func TestGammaCDFMonotone(t *testing.T) {
+	g, _ := NewGamma(0.7, 3)
+	prev := -1.0
+	for x := 0.0; x <= 30; x += 0.25 {
+		c := g.CDF(x)
+		if c < prev-1e-12 || c < 0 || c > 1 {
+			t.Fatalf("CDF not monotone/in-range at %v: %v after %v", x, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestGammaString(t *testing.T) {
+	g, _ := NewGamma(1, 1)
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+}

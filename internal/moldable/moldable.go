@@ -1,0 +1,134 @@
+// Package moldable implements the second extension of Section 6: tasks
+// that can execute on an arbitrary number of processors. For each task,
+// instantiating Equation 6 under the Section 3 workload/overhead models
+// yields an expected time E(p) that first decreases with p (more
+// parallelism) and eventually increases (λ = p·λ_proc grows, and for
+// constant overhead the checkpoint does not shrink); choosing p means
+// optimizing that trade-off.
+package moldable
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/expectation"
+	"repro/internal/platform"
+)
+
+// Task is a moldable task: a total sequential load with a scalability
+// model and a checkpoint footprint.
+type Task struct {
+	// Name labels the task.
+	Name string
+	// WTotal is the total sequential work.
+	WTotal float64
+	// BaseCheckpoint is the single-node checkpoint cost (αV in the paper).
+	BaseCheckpoint float64
+	// Scenario couples the workload and overhead models.
+	Scenario platform.Scenario
+}
+
+// Validate checks the task parameters.
+func (t Task) Validate() error {
+	if t.WTotal <= 0 {
+		return fmt.Errorf("moldable: task %q total work must be positive, got %v", t.Name, t.WTotal)
+	}
+	if t.BaseCheckpoint < 0 {
+		return fmt.Errorf("moldable: task %q has negative checkpoint cost %v", t.Name, t.BaseCheckpoint)
+	}
+	if t.Scenario.Workload == nil || t.Scenario.Overhead == nil {
+		return fmt.Errorf("moldable: task %q is missing workload or overhead model", t.Name)
+	}
+	return nil
+}
+
+// ExpectedTime returns E(p): the exact expected time (Proposition 1) of
+// running the task to completion — work followed by one checkpoint — on p
+// processors of the platform.
+func (t Task) ExpectedTime(pl platform.Platform, p int) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p > pl.Processors {
+		return 0, fmt.Errorf("moldable: processor count %d out of range [1, %d]", p, pl.Processors)
+	}
+	w, c, r, lambda := t.Scenario.Instantiate(pl, t.WTotal, t.BaseCheckpoint, p)
+	m, err := expectation.NewModel(lambda, pl.Downtime)
+	if err != nil {
+		return 0, err
+	}
+	return m.ExpectedTime(w, c, r), nil
+}
+
+// Allocation is the result of optimizing one task's processor count.
+type Allocation struct {
+	// Processors is the optimal p.
+	Processors int
+	// Expected is E(p) at the optimum.
+	Expected float64
+	// Speedup is E(1)/E(p*), the failure-aware speedup of parallelizing.
+	Speedup float64
+}
+
+// OptimalProcessors scans p ∈ [1, pl.Processors] and returns the
+// allocation minimizing the expected time. The scan is exact (the
+// objective need not be unimodal across scenarios); it costs one
+// Proposition 1 evaluation per candidate p.
+func OptimalProcessors(t Task, pl platform.Platform) (Allocation, error) {
+	if err := pl.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	best := Allocation{Processors: 1, Expected: math.Inf(1)}
+	var e1 float64
+	for p := 1; p <= pl.Processors; p++ {
+		e, err := t.ExpectedTime(pl, p)
+		if err != nil {
+			return Allocation{}, err
+		}
+		if p == 1 {
+			e1 = e
+		}
+		if e < best.Expected {
+			best = Allocation{Processors: p, Expected: e}
+		}
+	}
+	if best.Expected > 0 {
+		best.Speedup = e1 / best.Expected
+	}
+	return best, nil
+}
+
+// SequencePlan allocates processors to a sequence of moldable tasks
+// executed one after the other (the paper's full-parallelism execution
+// with per-task moldability) and returns the per-task allocations and the
+// total expected time.
+type SequencePlan struct {
+	// Allocations holds one entry per task, in order.
+	Allocations []Allocation
+	// TotalExpected is Σ E(p*_i).
+	TotalExpected float64
+}
+
+// PlanSequence optimizes each task independently. Because tasks execute
+// sequentially and each ends with a checkpoint (a renewal point),
+// per-task optimization is globally optimal for the sequence — the
+// resource-allocation coupling the paper warns about only appears when
+// tasks may run concurrently.
+func PlanSequence(tasks []Task, pl platform.Platform) (SequencePlan, error) {
+	if len(tasks) == 0 {
+		return SequencePlan{}, fmt.Errorf("moldable: empty task sequence")
+	}
+	out := SequencePlan{Allocations: make([]Allocation, 0, len(tasks))}
+	for _, t := range tasks {
+		a, err := OptimalProcessors(t, pl)
+		if err != nil {
+			return SequencePlan{}, fmt.Errorf("moldable: task %q: %w", t.Name, err)
+		}
+		out.Allocations = append(out.Allocations, a)
+		out.TotalExpected += a.Expected
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package moldable
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func testPlatform() platform.Platform {
+	return platform.Platform{Processors: 1 << 16, LambdaProc: 1e-6, Downtime: 1}
+}
+
+func kernelTask(gamma float64) Task {
+	return Task{
+		Name:           "kernel",
+		WTotal:         1e5,
+		BaseCheckpoint: 10,
+		Scenario: platform.Scenario{
+			Workload: platform.NumericalKernel{Gamma: gamma},
+			Overhead: platform.ConstantOverhead{},
+		},
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	bad := []Task{
+		{WTotal: 0, Scenario: platform.Scenario{Workload: platform.PerfectlyParallel{}, Overhead: platform.ConstantOverhead{}}},
+		{WTotal: 10, BaseCheckpoint: -1, Scenario: platform.Scenario{Workload: platform.PerfectlyParallel{}, Overhead: platform.ConstantOverhead{}}},
+		{WTotal: 10},
+	}
+	for i, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("bad task %d accepted", i)
+		}
+	}
+}
+
+func TestExpectedTimeValidation(t *testing.T) {
+	pl := testPlatform()
+	task := kernelTask(0.1)
+	if _, err := task.ExpectedTime(pl, 0); err == nil {
+		t.Error("p = 0 should fail")
+	}
+	if _, err := task.ExpectedTime(pl, pl.Processors+1); err == nil {
+		t.Error("p beyond platform should fail")
+	}
+	if _, err := task.ExpectedTime(pl, 64); err != nil {
+		t.Errorf("valid call failed: %v", err)
+	}
+}
+
+func TestOptimalProcessorsInteriorOptimum(t *testing.T) {
+	// Constant checkpoint overhead + growing λ(p) ⇒ E(p) eventually
+	// rises: the optimum is interior, not at p_max.
+	pl := testPlatform()
+	task := kernelTask(0.05)
+	a, err := OptimalProcessors(task, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Processors <= 1 || a.Processors >= pl.Processors {
+		t.Errorf("optimum p = %d should be interior (1, %d)", a.Processors, pl.Processors)
+	}
+	if a.Speedup <= 1 {
+		t.Errorf("speedup = %v, parallelism should pay off", a.Speedup)
+	}
+	// Neighbor check: the returned p is a local minimum.
+	for _, p := range []int{a.Processors - 1, a.Processors + 1} {
+		e, err := task.ExpectedTime(pl, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < a.Expected {
+			t.Errorf("p=%d has E=%v < claimed optimum %v", p, e, a.Expected)
+		}
+	}
+}
+
+func TestOptimalProcessorsMoreFailuresFewerProcs(t *testing.T) {
+	// Raising λproc must not increase the optimal processor count
+	// (failures punish large platforms).
+	task := kernelTask(0.05)
+	pLow := platform.Platform{Processors: 1 << 14, LambdaProc: 1e-7, Downtime: 1}
+	pHigh := platform.Platform{Processors: 1 << 14, LambdaProc: 1e-4, Downtime: 1}
+	aLow, err := OptimalProcessors(task, pLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHigh, err := OptimalProcessors(task, pHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aHigh.Processors > aLow.Processors {
+		t.Errorf("optimal p grew with failure rate: %d → %d", aLow.Processors, aHigh.Processors)
+	}
+}
+
+func TestProportionalOverheadScalesFurther(t *testing.T) {
+	// With proportional overhead C(p) = C/p, checkpoints shrink with p,
+	// so the optimum should sit at higher p than with constant overhead.
+	pl := platform.Platform{Processors: 1 << 14, LambdaProc: 1e-5, Downtime: 1}
+	constant := Task{
+		Name: "c", WTotal: 1e5, BaseCheckpoint: 50,
+		Scenario: platform.Scenario{Workload: platform.PerfectlyParallel{}, Overhead: platform.ConstantOverhead{}},
+	}
+	proportional := Task{
+		Name: "p", WTotal: 1e5, BaseCheckpoint: 50,
+		Scenario: platform.Scenario{Workload: platform.PerfectlyParallel{}, Overhead: platform.ProportionalOverhead{}},
+	}
+	ac, err := OptimalProcessors(constant, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := OptimalProcessors(proportional, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Processors < ac.Processors {
+		t.Errorf("proportional overhead optimum %d < constant overhead optimum %d", ap.Processors, ac.Processors)
+	}
+}
+
+func TestPlanSequence(t *testing.T) {
+	pl := testPlatform()
+	tasks := []Task{kernelTask(0.02), kernelTask(0.2)}
+	plan, err := PlanSequence(tasks, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Allocations) != 2 {
+		t.Fatalf("allocations = %d", len(plan.Allocations))
+	}
+	sum := 0.0
+	for _, a := range plan.Allocations {
+		sum += a.Expected
+	}
+	if math.Abs(sum-plan.TotalExpected) > 1e-9 {
+		t.Errorf("total %v ≠ sum %v", plan.TotalExpected, sum)
+	}
+	// Both optima are interior and the comm-heavy task runs longer.
+	for i, a := range plan.Allocations {
+		if a.Processors <= 1 || a.Processors >= pl.Processors {
+			t.Errorf("allocation %d: p = %d not interior", i, a.Processors)
+		}
+	}
+	if plan.Allocations[1].Expected <= plan.Allocations[0].Expected {
+		t.Errorf("comm-heavy task should take longer: %v vs %v",
+			plan.Allocations[1].Expected, plan.Allocations[0].Expected)
+	}
+	if _, err := PlanSequence(nil, pl); err == nil {
+		t.Error("empty sequence should fail")
+	}
+}

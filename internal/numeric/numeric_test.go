@@ -1,0 +1,251 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0Identity(t *testing.T) {
+	// W(x)·e^{W(x)} = x across the domain.
+	xs := []float64{-1 / math.E, -0.367, -0.2, -1e-6, 0, 1e-9, 0.1, 0.5, 1, math.E, 10, 1e3, 1e8}
+	for _, x := range xs {
+		w, err := LambertW0(x)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", x, err)
+		}
+		got := w * math.Exp(w)
+		if !AlmostEqual(got, x, 1e-9) {
+			t.Errorf("LambertW0(%v) = %v; w·e^w = %v, want %v", x, w, got, x)
+		}
+	}
+}
+
+func TestLambertW0KnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{math.E, 1},
+		{2 * math.E * math.E, 2},
+		{-1 / math.E, -1},
+	}
+	for _, c := range cases {
+		w, err := LambertW0(c.x)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", c.x, err)
+		}
+		if math.Abs(w-c.want) > 1e-7 {
+			t.Errorf("LambertW0(%v) = %v, want %v", c.x, w, c.want)
+		}
+	}
+}
+
+func TestLambertW0OutOfDomain(t *testing.T) {
+	if _, err := LambertW0(-1); err == nil {
+		t.Error("LambertW0(-1) should fail: below -1/e")
+	}
+	if _, err := LambertW0(math.NaN()); err == nil {
+		t.Error("LambertW0(NaN) should fail")
+	}
+}
+
+func TestLambertW0Monotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for _, x := range Linspace(-1/math.E+1e-9, 10, 500) {
+		w, err := LambertW0(x)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", x, err)
+		}
+		if w < prev-1e-12 {
+			t.Fatalf("LambertW0 not monotone at x=%v: %v < %v", x, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestXOverExpm1(t *testing.T) {
+	if got := XOverExpm1(0); got != 1 {
+		t.Errorf("XOverExpm1(0) = %v, want 1", got)
+	}
+	// Compare against direct evaluation where it is stable.
+	for _, x := range []float64{0.5, 1, 2, 10} {
+		want := x / (math.Exp(x) - 1)
+		if got := XOverExpm1(x); !AlmostEqual(got, want, 1e-12) {
+			t.Errorf("XOverExpm1(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Small-x limit: ≈ 1 − x/2.
+	x := 1e-12
+	if got := XOverExpm1(x); math.Abs(got-1) > 1e-9 {
+		t.Errorf("XOverExpm1(%v) = %v, want ≈ 1", x, got)
+	}
+}
+
+func TestSafeExp(t *testing.T) {
+	if got := SafeExp(1); !AlmostEqual(got, math.E, 1e-12) {
+		t.Errorf("SafeExp(1) = %v", got)
+	}
+	if got := SafeExp(MaxExpArg + 1); !math.IsInf(got, 1) {
+		t.Errorf("SafeExp(overflow) = %v, want +Inf", got)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect root = %v, want √2", root)
+	}
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); err == nil {
+		t.Error("Bisect should fail without a bracket")
+	}
+}
+
+func TestNewton(t *testing.T) {
+	root, err := Newton(
+		func(x float64) float64 { return math.Exp(x) - 3 },
+		func(x float64) float64 { return math.Exp(x) },
+		1, 1e-12)
+	if err != nil {
+		t.Fatalf("Newton: %v", err)
+	}
+	if math.Abs(root-math.Log(3)) > 1e-10 {
+		t.Errorf("Newton root = %v, want ln 3", root)
+	}
+}
+
+func TestMinimizeUnimodal(t *testing.T) {
+	argmin := MinimizeUnimodal(func(x float64) float64 { return (x - 3) * (x - 3) }, 0, 10, 1e-9)
+	if math.Abs(argmin-3) > 1e-6 {
+		t.Errorf("MinimizeUnimodal = %v, want 3", argmin)
+	}
+}
+
+func TestArgminInt(t *testing.T) {
+	arg, val := ArgminInt(func(i int) float64 { return float64((i - 7) * (i - 7)) }, 1, 20)
+	if arg != 7 || val != 0 {
+		t.Errorf("ArgminInt = (%d, %v), want (7, 0)", arg, val)
+	}
+}
+
+func TestIntegrate(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3.
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 1, 1e-10)
+	if math.Abs(got-1.0/3.0) > 1e-8 {
+		t.Errorf("Integrate x² = %v, want 1/3", got)
+	}
+	// ∫₀^π sin = 2.
+	got = Integrate(math.Sin, 0, math.Pi, 1e-10)
+	if math.Abs(got-2) > 1e-8 {
+		t.Errorf("Integrate sin = %v, want 2", got)
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	var k KahanSum
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		k.Add(0.1)
+	}
+	if k.Count() != n {
+		t.Fatalf("Count = %d, want %d", k.Count(), n)
+	}
+	if math.Abs(k.Sum()-100000) > 1e-6 {
+		t.Errorf("Kahan sum drifted: %v", k.Sum())
+	}
+	if math.Abs(k.Mean()-0.1) > 1e-12 {
+		t.Errorf("Kahan mean = %v, want 0.1", k.Mean())
+	}
+}
+
+func TestKahanEmpty(t *testing.T) {
+	var k KahanSum
+	if k.Mean() != 0 || k.Sum() != 0 || k.Count() != 0 {
+		t.Error("zero-value KahanSum should be empty")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(pts) != len(want) {
+		t.Fatalf("len = %d, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Errorf("Linspace[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1: %v", got)
+	}
+	if got := Linspace(0, 1, 0); got != nil {
+		t.Errorf("Linspace n=0: %v", got)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if !AlmostEqual(pts[i], want[i], 1e-12) {
+			t.Errorf("Logspace[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(11, 10) = %v", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0, 0) = %v", got)
+	}
+}
+
+func TestExpRatioSmallArgs(t *testing.T) {
+	// (e^a−1)/(e^b−1) → a/b as a, b → 0.
+	got := ExpRatio(1e-14, 2e-14)
+	if math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("ExpRatio tiny args = %v, want 0.5", got)
+	}
+	if !math.IsInf(ExpRatio(1, 0), 1) {
+		t.Error("ExpRatio(_, 0) should be +Inf")
+	}
+}
+
+func TestLambertW0IdentityProperty(t *testing.T) {
+	// Property: for any u ≥ −1, LambertW0(u·e^u) = u.
+	f := func(raw float64) bool {
+		u := math.Mod(math.Abs(raw), 20) - 1 // u ∈ [−1, 19)
+		x := u * math.Exp(u)
+		w, err := LambertW0(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(w-u) <= 1e-7*(1+math.Abs(u))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKahanMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var k KahanSum
+		naive := 0.0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip non-finite inputs
+			}
+			x = math.Mod(x, 1e6)
+			k.Add(x)
+			naive += x
+		}
+		return AlmostEqual(k.Sum(), naive, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package platform implements the Section 3 scenarios of the paper: how
+// work, checkpoint overhead, failure rate and downtime scale with the
+// number p of processors executing a fully-parallel task.
+//
+//   - Workload models W(p): perfectly parallel, Amdahl-law generic
+//     parallel, and the 2-D numerical-kernel model W_total/p + γ·W^{2/3}/√p.
+//   - Checkpoint-overhead models C(p): proportional (per-node I/O bound,
+//     C/p) and constant (shared-storage bound).
+//   - Failure scaling: λ(p) = p·λ_proc for Exponential laws.
+//   - Downtime scaling: D(p) ≥ D(1) with cascades (see sim.CascadeDowntime).
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// WorkloadModel maps a total sequential load to the parallel execution
+// time on p processors.
+type WorkloadModel interface {
+	// Time returns W(p) for the given total sequential work.
+	Time(wTotal float64, p int) float64
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// PerfectlyParallel is scenario (i): W(p) = W_total/p.
+type PerfectlyParallel struct{}
+
+// Time implements WorkloadModel.
+func (PerfectlyParallel) Time(wTotal float64, p int) float64 { return wTotal / float64(p) }
+
+// Name implements WorkloadModel.
+func (PerfectlyParallel) Name() string { return "perfect" }
+
+// Amdahl is scenario (ii): W(p) = (1−γ)·W_total/p + γ·W_total, with γ the
+// inherently sequential fraction.
+type Amdahl struct {
+	// Gamma is the sequential fraction γ ∈ [0, 1).
+	Gamma float64
+}
+
+// Time implements WorkloadModel.
+func (a Amdahl) Time(wTotal float64, p int) float64 {
+	return (1-a.Gamma)*wTotal/float64(p) + a.Gamma*wTotal
+}
+
+// Name implements WorkloadModel.
+func (a Amdahl) Name() string { return fmt.Sprintf("amdahl(γ=%g)", a.Gamma) }
+
+// NumericalKernel is scenario (iii): W(p) = W_total/p + γ·W_total^{2/3}/√p,
+// the shape of dense matrix product or LU/QR factorization on a 2-D grid,
+// with γ the communication-to-computation ratio.
+type NumericalKernel struct {
+	// Gamma is the communication-to-computation ratio.
+	Gamma float64
+}
+
+// Time implements WorkloadModel.
+func (k NumericalKernel) Time(wTotal float64, p int) float64 {
+	return wTotal/float64(p) + k.Gamma*math.Pow(wTotal, 2.0/3.0)/math.Sqrt(float64(p))
+}
+
+// Name implements WorkloadModel.
+func (k NumericalKernel) Name() string { return fmt.Sprintf("kernel(γ=%g)", k.Gamma) }
+
+// OverheadModel maps the single-node checkpoint (and recovery) cost to its
+// p-processor value.
+type OverheadModel interface {
+	// Cost returns C(p) from the footprint-derived base cost.
+	Cost(base float64, p int) float64
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// ProportionalOverhead is overhead scenario (i): C(p) = C/p — each node
+// writes its V/p bytes through its own card, so the cost shrinks with p.
+type ProportionalOverhead struct{}
+
+// Cost implements OverheadModel.
+func (ProportionalOverhead) Cost(base float64, p int) float64 { return base / float64(p) }
+
+// Name implements OverheadModel.
+func (ProportionalOverhead) Name() string { return "proportional" }
+
+// ConstantOverhead is overhead scenario (ii): C(p) = C — the shared
+// resilient store is the bottleneck regardless of p.
+type ConstantOverhead struct{}
+
+// Cost implements OverheadModel.
+func (ConstantOverhead) Cost(base float64, _ int) float64 { return base }
+
+// Name implements OverheadModel.
+func (ConstantOverhead) Name() string { return "constant" }
+
+var (
+	_ WorkloadModel = PerfectlyParallel{}
+	_ WorkloadModel = Amdahl{}
+	_ WorkloadModel = NumericalKernel{}
+	_ OverheadModel = ProportionalOverhead{}
+	_ OverheadModel = ConstantOverhead{}
+)
+
+// Platform describes the machine: p processors, per-processor failure
+// rate, and base (single-node) downtime.
+type Platform struct {
+	// Processors is p.
+	Processors int
+	// LambdaProc is the per-processor Exponential failure rate λ_proc.
+	LambdaProc float64
+	// Downtime is D, the single-failure downtime.
+	Downtime float64
+}
+
+// Validate checks the platform parameters.
+func (pl Platform) Validate() error {
+	if pl.Processors <= 0 {
+		return fmt.Errorf("platform: processor count must be positive, got %d", pl.Processors)
+	}
+	if pl.LambdaProc <= 0 || math.IsInf(pl.LambdaProc, 0) || math.IsNaN(pl.LambdaProc) {
+		return fmt.Errorf("platform: λproc must be positive and finite, got %v", pl.LambdaProc)
+	}
+	if pl.Downtime < 0 {
+		return fmt.Errorf("platform: downtime must be ≥ 0, got %v", pl.Downtime)
+	}
+	return nil
+}
+
+// Lambda returns the platform failure rate λ = p·λ_proc (superposition of
+// p independent Exponential processes).
+func (pl Platform) Lambda() float64 { return float64(pl.Processors) * pl.LambdaProc }
+
+// MTBF returns the platform mean time between failures 1/λ.
+func (pl Platform) MTBF() float64 { return 1 / pl.Lambda() }
+
+// Scenario bundles a workload model with an overhead model: one column of
+// the Section 3 design space.
+type Scenario struct {
+	Workload WorkloadModel
+	Overhead OverheadModel
+}
+
+// Instantiate returns the effective (W, C, R, λ) of executing wTotal units
+// of sequential work with checkpoint base cost baseC on p processors of
+// the platform (recovery cost scales like checkpoint cost, the paper's
+// C = R convention).
+func (s Scenario) Instantiate(pl Platform, wTotal, baseC float64, p int) (w, c, r, lambda float64) {
+	w = s.Workload.Time(wTotal, p)
+	c = s.Overhead.Cost(baseC, p)
+	r = c
+	lambda = float64(p) * pl.LambdaProc
+	return w, c, r, lambda
+}

@@ -1,0 +1,122 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkloadModels(t *testing.T) {
+	const w = 1000.0
+	pp := PerfectlyParallel{}
+	if pp.Time(w, 10) != 100 {
+		t.Errorf("perfect: %v", pp.Time(w, 10))
+	}
+	am := Amdahl{Gamma: 0.1}
+	// (0.9·1000)/10 + 0.1·1000 = 190.
+	if am.Time(w, 10) != 190 {
+		t.Errorf("amdahl: %v", am.Time(w, 10))
+	}
+	// γ = 0 degenerates to perfect parallelism.
+	if (Amdahl{}).Time(w, 8) != pp.Time(w, 8) {
+		t.Error("amdahl γ=0 should equal perfect")
+	}
+	nk := NumericalKernel{Gamma: 0.5}
+	want := w/10 + 0.5*math.Pow(w, 2.0/3.0)/math.Sqrt(10)
+	if math.Abs(nk.Time(w, 10)-want) > 1e-12 {
+		t.Errorf("kernel: %v, want %v", nk.Time(w, 10), want)
+	}
+}
+
+func TestWorkloadMonotoneDecreasingInP(t *testing.T) {
+	models := []WorkloadModel{PerfectlyParallel{}, Amdahl{Gamma: 0.05}, NumericalKernel{Gamma: 0.1}}
+	for _, m := range models {
+		prev := math.Inf(1)
+		for p := 1; p <= 1024; p *= 2 {
+			cur := m.Time(1e6, p)
+			if cur > prev {
+				t.Errorf("%s: W(p) increased at p=%d", m.Name(), p)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestAmdahlFloor(t *testing.T) {
+	// W(p) ≥ γ·W for Amdahl: the sequential fraction is a hard floor.
+	am := Amdahl{Gamma: 0.02}
+	if am.Time(1000, 1<<20) < 20 {
+		t.Error("Amdahl floor violated")
+	}
+}
+
+func TestOverheadModels(t *testing.T) {
+	if (ProportionalOverhead{}).Cost(100, 4) != 25 {
+		t.Error("proportional overhead wrong")
+	}
+	if (ConstantOverhead{}).Cost(100, 4) != 100 {
+		t.Error("constant overhead wrong")
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	good := Platform{Processors: 4, LambdaProc: 1e-3, Downtime: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid platform rejected: %v", err)
+	}
+	bad := []Platform{
+		{Processors: 0, LambdaProc: 1},
+		{Processors: 2, LambdaProc: 0},
+		{Processors: 2, LambdaProc: -1},
+		{Processors: 2, LambdaProc: 1, Downtime: -1},
+		{Processors: 2, LambdaProc: math.Inf(1)},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad platform %d accepted", i)
+		}
+	}
+}
+
+func TestPlatformLambda(t *testing.T) {
+	p := Platform{Processors: 100, LambdaProc: 1e-4, Downtime: 0}
+	if math.Abs(p.Lambda()-1e-2) > 1e-15 {
+		t.Errorf("Lambda = %v", p.Lambda())
+	}
+	if math.Abs(p.MTBF()-100) > 1e-9 {
+		t.Errorf("MTBF = %v", p.MTBF())
+	}
+}
+
+func TestScenarioInstantiate(t *testing.T) {
+	pl := Platform{Processors: 64, LambdaProc: 1e-4, Downtime: 1}
+	s := Scenario{Workload: PerfectlyParallel{}, Overhead: ProportionalOverhead{}}
+	w, c, r, lambda := s.Instantiate(pl, 6400, 32, 16)
+	if w != 400 {
+		t.Errorf("w = %v", w)
+	}
+	if c != 2 || r != 2 {
+		t.Errorf("c, r = %v, %v", c, r)
+	}
+	if math.Abs(lambda-16e-4) > 1e-15 {
+		t.Errorf("λ = %v", lambda)
+	}
+
+	s2 := Scenario{Workload: Amdahl{Gamma: 0.5}, Overhead: ConstantOverhead{}}
+	_, c2, _, _ := s2.Instantiate(pl, 6400, 32, 16)
+	if c2 != 32 {
+		t.Errorf("constant overhead c = %v", c2)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, m := range []WorkloadModel{PerfectlyParallel{}, Amdahl{Gamma: 0.1}, NumericalKernel{Gamma: 0.2}} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+	for _, m := range []OverheadModel{ProportionalOverhead{}, ConstantOverhead{}} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds coincide too often: %d/100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	// Children must differ from each other.
+	diff := false
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("split children produced identical sequences")
+	}
+}
+
+func TestSplitDoesNotPerturbParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split() // splitting must not consume parent's sequence
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split perturbed the parent stream")
+		}
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := New(11).Split()
+	b := New(11).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("ExpFloat64 mean = %v, want ≈ 1", mean)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(5, 7)
+		if v < 5 || v >= 7 {
+			t.Fatalf("Range out of [5,7): %v", v)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(13)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntN(t *testing.T) {
+	s := New(17)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[s.IntN(4)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("IntN bucket %d count %d far from uniform", i, c)
+		}
+	}
+}

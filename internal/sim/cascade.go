@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// CascadeDowntime estimates the effective platform downtime D(p) discussed
+// after Equation 6: with p processors, a processor may fail while another
+// is down, so the platform-level downtime (the span until every processor
+// is simultaneously up again) can exceed the single-node downtime D. The
+// paper notes the exact value is unknown, that D(1) = D is a lower bound,
+// and that the bound should be accurate in practice — experiment E10
+// quantifies that.
+//
+// One sample plays a cascade: at time 0 a processor fails and is down
+// until D. While any processor is down, each of the up processors fails
+// independently at rate lambdaProc; every such failure keeps the platform
+// down until its own repair completes. The sample is the time until all
+// processors are up.
+func CascadeDowntime(p int, lambdaProc, d float64, runs int, seed *rng.Stream) (stats.Summary, error) {
+	if p <= 0 {
+		return stats.Summary{}, fmt.Errorf("sim: processor count must be positive, got %d", p)
+	}
+	if lambdaProc <= 0 || d < 0 {
+		return stats.Summary{}, fmt.Errorf("sim: need λproc > 0 and D ≥ 0, got %v, %v", lambdaProc, d)
+	}
+	// The cascade is a busy period of an M/D/∞-like system with offered
+	// load ≈ p·λproc·D: near and above load 1 the busy period explodes
+	// (exponentially long cascades), so reject configurations where one
+	// sample could effectively never terminate.
+	if load := float64(p) * lambdaProc * d; load >= 0.9 {
+		return stats.Summary{}, fmt.Errorf("sim: cascade load p·λproc·D = %.3g ≥ 0.9: platform cannot drain its failures (supercritical regime)", load)
+	}
+	var s stats.Summary
+	for i := 0; i < runs; i++ {
+		s.Add(sampleCascade(p, lambdaProc, d, seed))
+	}
+	return s, nil
+}
+
+func sampleCascade(p int, lambdaProc, d float64, r *rng.Stream) float64 {
+	// Invariant: at time t, `down` processors are under repair, the
+	// earliest finishing at the times in repairEnd (a small sorted set;
+	// p is large but concurrent repairs are few in realistic regimes).
+	t := 0.0
+	repairEnd := []float64{d} // initial failure at time 0
+	for len(repairEnd) > 0 {
+		up := p - len(repairEnd)
+		// Next event: either the earliest repair completes, or an up
+		// processor fails.
+		minEnd := repairEnd[0]
+		for _, e := range repairEnd[1:] {
+			if e < minEnd {
+				minEnd = e
+			}
+		}
+		var nextFail float64
+		if up > 0 {
+			nextFail = t + r.ExpFloat64()/(lambdaProc*float64(up))
+		} else {
+			nextFail = minEnd + 1 // no up processor can fail
+		}
+		if nextFail < minEnd {
+			t = nextFail
+			repairEnd = append(repairEnd, t+d)
+			continue
+		}
+		t = minEnd
+		// Remove completed repairs at exactly t.
+		keep := repairEnd[:0]
+		for _, e := range repairEnd {
+			if e > t {
+				keep = append(keep, e)
+			}
+		}
+		repairEnd = keep
+	}
+	return t
+}

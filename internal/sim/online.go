@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Policy decides checkpoints online, while the workflow executes. Static
+// placements are optimal for the memoryless core model (the future never
+// changes), but under general laws the optimal decision depends on
+// execution history — the paper's second difficulty with non-Exponential
+// distributions. The online simulator makes that difference measurable.
+type Policy interface {
+	// ShouldCheckpoint is consulted right after the task at position pos
+	// completes (the final position always checkpoints regardless).
+	ShouldCheckpoint(state OnlineState) bool
+	// Name identifies the policy in tables.
+	Name() string
+}
+
+// OnlineState is what a policy may observe.
+type OnlineState struct {
+	// Position is the index of the just-completed task.
+	Position int
+	// Tasks is the total number of tasks.
+	Tasks int
+	// UnsecuredWork is the work executed since the last checkpoint.
+	UnsecuredWork float64
+	// NextWeight is the weight of the next task (0 at the end).
+	NextWeight float64
+	// NextCheckpointCost is the cost of checkpointing now.
+	NextCheckpointCost float64
+	// TimeSinceLastFailure is the elapsed time since the platform last
+	// failed (or since the start if it never did).
+	TimeSinceLastFailure float64
+	// Failures counts failures so far in this run.
+	Failures int
+}
+
+// StaticPolicy replays a precomputed placement.
+type StaticPolicy struct {
+	// CheckpointAfter is the placement to replay.
+	CheckpointAfter []bool
+	// Label names the placement's origin (e.g. "chain-dp").
+	Label string
+}
+
+// ShouldCheckpoint implements Policy.
+func (p StaticPolicy) ShouldCheckpoint(s OnlineState) bool {
+	if s.Position >= len(p.CheckpointAfter) {
+		return true
+	}
+	return p.CheckpointAfter[s.Position]
+}
+
+// Name implements Policy.
+func (p StaticPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "static"
+}
+
+// HazardPolicy checkpoints when the expected loss of risking the next
+// task exceeds the checkpoint cost: unsecured·h(t)·w_next > C. With a
+// hazard that depends on the time since the last failure it adapts to
+// history, which no static placement can.
+type HazardPolicy struct {
+	// Hazard is the platform hazard rate as a function of time since the
+	// last failure.
+	Hazard func(t float64) float64
+}
+
+// ShouldCheckpoint implements Policy.
+func (p HazardPolicy) ShouldCheckpoint(s OnlineState) bool {
+	if s.NextWeight == 0 {
+		return true
+	}
+	risk := s.UnsecuredWork * p.Hazard(s.TimeSinceLastFailure) * s.NextWeight
+	return risk > s.NextCheckpointCost
+}
+
+// Name implements Policy.
+func (p HazardPolicy) Name() string { return "hazard" }
+
+// WorkThresholdPolicy checkpoints once the unsecured work reaches a fixed
+// threshold — the divisible-load periodic policy, online.
+type WorkThresholdPolicy struct {
+	// Threshold is the period (work units).
+	Threshold float64
+}
+
+// ShouldCheckpoint implements Policy.
+func (p WorkThresholdPolicy) ShouldCheckpoint(s OnlineState) bool {
+	return s.UnsecuredWork >= p.Threshold
+}
+
+// Name implements Policy.
+func (p WorkThresholdPolicy) Name() string { return "work-threshold" }
+
+var (
+	_ Policy = StaticPolicy{}
+	_ Policy = HazardPolicy{}
+	_ Policy = WorkThresholdPolicy{}
+)
+
+// RunOnline executes the chain problem under proc, consulting policy
+// after every task. Unlike Run, rollback granularity is the task set
+// since the last checkpoint (identical semantics, decided on the fly).
+func RunOnline(cp *core.ChainProblem, policy Policy, proc failure.Process, opts Options) (RunStats, error) {
+	if err := cp.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	if opts.Downtime < 0 {
+		return RunStats{}, fmt.Errorf("sim: negative downtime %v", opts.Downtime)
+	}
+	n := cp.Len()
+	var rs RunStats
+	budget := opts.maxFailures()
+	sinceFailure := 0.0
+
+	// The segment currently being attempted starts at segStart; pos is
+	// the next task to run within it.
+	segStart := 0
+	for segStart < n {
+		// Run tasks one at a time until the policy checkpoints; on
+		// failure, roll back to segStart.
+		pos := segStart
+		unsecured := 0.0
+		restart := false
+		for {
+			dur := cp.Weights[pos]
+			checkpointing := false
+			// Decide checkpoint before knowing whether the task fails?
+			// No: decide after the task completes. First execute the
+			// task, then consult the policy, then maybe checkpoint.
+			next := proc.NextFailure()
+			if next < dur {
+				// Failure mid-task.
+				if err := onlineFailure(cp, segStart, &rs, proc, opts, &sinceFailure, next, budget); err != nil {
+					return rs, err
+				}
+				restart = true
+				break
+			}
+			proc.Advance(dur)
+			rs.Makespan += dur
+			rs.Useful += dur
+			sinceFailure += dur
+			unsecured += dur
+
+			// Consult the policy (final task always checkpoints).
+			state := OnlineState{
+				Position:             pos,
+				Tasks:                n,
+				UnsecuredWork:        unsecured,
+				NextCheckpointCost:   cp.Ckpt[pos],
+				TimeSinceLastFailure: sinceFailure,
+				Failures:             rs.Failures,
+			}
+			if pos+1 < n {
+				state.NextWeight = cp.Weights[pos+1]
+			}
+			checkpointing = pos == n-1 || policy.ShouldCheckpoint(state)
+			if checkpointing {
+				cdur := cp.Ckpt[pos]
+				cnext := proc.NextFailure()
+				if cnext < cdur {
+					if err := onlineFailure(cp, segStart, &rs, proc, opts, &sinceFailure, cnext, budget); err != nil {
+						return rs, err
+					}
+					restart = true
+					break
+				}
+				proc.Advance(cdur)
+				rs.Makespan += cdur
+				rs.Useful += cdur
+				sinceFailure += cdur
+				segStart = pos + 1
+				break
+			}
+			pos++
+		}
+		if restart {
+			continue
+		}
+	}
+	return rs, nil
+}
+
+// onlineFailure accounts for a failure `next` time units into an attempt
+// and performs downtime plus recovery to the segment's starting state.
+func onlineFailure(cp *core.ChainProblem, segStart int, rs *RunStats, proc failure.Process, opts Options, sinceFailure *float64, next float64, budget int) error {
+	rec := cp.InitialRecovery
+	if segStart > 0 {
+		rec = cp.Rec[segStart-1]
+	}
+	proc.ObserveFailure()
+	rs.Makespan += next
+	rs.Lost += next
+	rs.Failures++
+	*sinceFailure = 0
+	if rs.Failures > budget {
+		return ErrTooManyFailures
+	}
+	rs.Makespan += opts.Downtime
+	rs.Downtime += opts.Downtime
+	for {
+		rnext := proc.NextFailure()
+		if rnext >= rec {
+			proc.Advance(rec)
+			rs.Makespan += rec
+			rs.RecoveryTime += rec
+			*sinceFailure += rec
+			return nil
+		}
+		proc.ObserveFailure()
+		rs.Makespan += rnext
+		rs.RecoveryTime += rnext
+		rs.Failures++
+		*sinceFailure = 0
+		if rs.Failures > budget {
+			return ErrTooManyFailures
+		}
+		rs.Makespan += opts.Downtime
+		rs.Downtime += opts.Downtime
+	}
+}
+
+// MonteCarloOnline runs RunOnline many times and summarizes makespans.
+func MonteCarloOnline(cp *core.ChainProblem, policy Policy, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (stats.Summary, error) {
+	if runs <= 0 {
+		return stats.Summary{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
+	}
+	var s stats.Summary
+	for i := 0; i < runs; i++ {
+		proc := factory(seed)
+		rs, err := RunOnline(cp, policy, proc, opts)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		s.Add(rs.Makespan)
+	}
+	return s, nil
+}

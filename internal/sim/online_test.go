@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expectation"
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+func onlineChain(t *testing.T, n int, lambda, d float64) *core.ChainProblem {
+	t.Helper()
+	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := expectation.NewModel(lambda, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestRunOnlineStaticMatchesRun(t *testing.T) {
+	// A static policy must reproduce the segment semantics of Run: the
+	// simulated mean must match the analytical expectation of the same
+	// placement.
+	cp := onlineChain(t, 8, 0.08, 0.5)
+	res, err := core.SolveChainDP(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cp.Makespan(res.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := MonteCarloOnline(cp, StaticPolicy{CheckpointAfter: res.CheckpointAfter},
+		ExponentialFactory(cp.Model.Lambda), Options{Downtime: cp.Model.Downtime}, 40000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Contains(want, 0.999) {
+		t.Errorf("online static mean %v ± %v vs analytical %v",
+			sum.Mean(), sum.CI(0.999), want)
+	}
+}
+
+func TestRunOnlineNoFailures(t *testing.T) {
+	cp := onlineChain(t, 5, 0.01, 0)
+	proc, err := failure.NewTraceProcess([]float64{1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always := make([]bool, cp.Len())
+	for i := range always {
+		always[i] = true
+	}
+	rs, err := RunOnline(cp, StaticPolicy{CheckpointAfter: always}, proc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := range cp.Weights {
+		want += cp.Weights[i] + cp.Ckpt[i]
+	}
+	if math.Abs(rs.Makespan-want) > 1e-9 {
+		t.Errorf("failure-free online = %v, want %v", rs.Makespan, want)
+	}
+	if rs.Failures != 0 {
+		t.Errorf("failures = %d", rs.Failures)
+	}
+}
+
+func TestHazardPolicyAdaptsToMemorylessRate(t *testing.T) {
+	// Under exponential failures the hazard policy reduces to the static
+	// greedy rule; its makespan must be within a few percent of the DP.
+	cp := onlineChain(t, 20, 0.05, 0.25)
+	dp, err := core.SolveChainDP(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := failure.NewExponential(cp.Model.Lambda)
+	hz, err := MonteCarloOnline(cp, HazardPolicy{Hazard: e.Hazard},
+		ExponentialFactory(cp.Model.Lambda), Options{Downtime: 0.25}, 20000, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Mean() < dp.Expected*0.999 {
+		t.Errorf("hazard policy %v beats the provably optimal DP %v", hz.Mean(), dp.Expected)
+	}
+	if hz.Mean() > dp.Expected*1.25 {
+		t.Errorf("hazard policy %v too far above optimal %v", hz.Mean(), dp.Expected)
+	}
+}
+
+func TestWorkThresholdPolicy(t *testing.T) {
+	cp := onlineChain(t, 12, 0.05, 0.25)
+	period := expectation.DalyPeriod(0.3, cp.Model.Lambda)
+	online, err := MonteCarloOnline(cp, WorkThresholdPolicy{Threshold: period},
+		ExponentialFactory(cp.Model.Lambda), Options{Downtime: 0.25}, 20000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must match the analytical expectation of the equivalent static
+	// periodic placement.
+	static, err := core.PeriodicCheckpoint(cp, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !online.Contains(static.Expected, 0.999) {
+		t.Errorf("online periodic %v ± %v vs static analytical %v",
+			online.Mean(), online.CI(0.999), static.Expected)
+	}
+}
+
+func TestOnlinePolicyNames(t *testing.T) {
+	if (StaticPolicy{Label: "x"}).Name() != "x" || (StaticPolicy{}).Name() == "" {
+		t.Error("static policy naming broken")
+	}
+	if (HazardPolicy{}).Name() == "" || (WorkThresholdPolicy{}).Name() == "" {
+		t.Error("policy names must be non-empty")
+	}
+}
+
+func TestMonteCarloOnlineValidation(t *testing.T) {
+	cp := onlineChain(t, 3, 0.05, 0)
+	if _, err := MonteCarloOnline(cp, StaticPolicy{}, ExponentialFactory(0.05), Options{}, 0, rng.New(1)); err == nil {
+		t.Error("zero runs should fail")
+	}
+}
+
+func TestVarianceMatchesSimulation(t *testing.T) {
+	// The analytic makespan variance (second-moment extension of
+	// Proposition 1's recursion) must match the Monte-Carlo variance.
+	cp := onlineChain(t, 6, 0.1, 0.5)
+	res, err := core.SolveChainDP(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVar, err := cp.MakespanVariance(res.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloPlan(cp, res.CheckpointAfter, ExponentialFactory(cp.Model.Lambda), 120000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mc.Makespan.Variance()
+	if math.Abs(got-wantVar)/wantVar > 0.05 {
+		t.Errorf("simulated variance %v vs analytic %v (>5%% apart)", got, wantVar)
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// MakespanDistribution summarizes the full distribution of simulated
+// makespans — mean and variance come from the analytic formulas, but
+// tail quantiles (deadlines, SLOs) only come from sampling.
+type MakespanDistribution struct {
+	// Summary holds the moments.
+	Summary stats.Summary
+	// P50, P90, P99, P999 are makespan quantiles.
+	P50, P90, P99, P999 float64
+	// Samples is the number of runs.
+	Samples int
+}
+
+// EstimateMakespanDistribution simulates the segments and returns the
+// distribution of makespans (quantiles require retaining samples, so
+// memory is O(runs)).
+func EstimateMakespanDistribution(segments []core.Segment, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (MakespanDistribution, error) {
+	if runs <= 0 {
+		return MakespanDistribution{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
+	}
+	samples := make([]float64, 0, runs)
+	var out MakespanDistribution
+	for i := 0; i < runs; i++ {
+		proc := factory(seed)
+		rs, err := Run(segments, proc, opts)
+		if err != nil {
+			return MakespanDistribution{}, err
+		}
+		samples = append(samples, rs.Makespan)
+		out.Summary.Add(rs.Makespan)
+	}
+	qs := stats.Quantiles(samples, 0.5, 0.9, 0.99, 0.999)
+	out.P50, out.P90, out.P99, out.P999 = qs[0], qs[1], qs[2], qs[3]
+	out.Samples = runs
+	return out, nil
+}
+
+// PlanReport is a one-stop analytical + simulated assessment of a chain
+// plan: the output of cmd/chkptplan's report mode and the facade's
+// recommended entry point for plan evaluation.
+type PlanReport struct {
+	// Expected is the exact expected makespan (Proposition 1 per segment).
+	Expected float64
+	// StdDev is the exact makespan standard deviation (second-moment
+	// extension of the Proposition 1 recursion).
+	StdDev float64
+	// FailureFree is the makespan with no failure.
+	FailureFree float64
+	// ExpectedWaste is Expected/FailureFree − 1.
+	ExpectedWaste float64
+	// Checkpoints is the number of checkpoints in the plan.
+	Checkpoints int
+	// Segments lists the plan's segments.
+	Segments []core.Segment
+}
+
+// Report assembles the analytical PlanReport for a checkpoint vector.
+func Report(cp *core.ChainProblem, checkpointAfter []bool) (PlanReport, error) {
+	segs, err := cp.Segments(checkpointAfter)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	e, err := cp.Makespan(checkpointAfter)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	v, err := cp.MakespanVariance(checkpointAfter)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	ff, err := cp.FailureFreeMakespan(checkpointAfter)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	rep := PlanReport{
+		Expected:    e,
+		FailureFree: ff,
+		Checkpoints: len(segs),
+		Segments:    segs,
+	}
+	if v > 0 {
+		rep.StdDev = math.Sqrt(v)
+	}
+	if ff > 0 {
+		rep.ExpectedWaste = e/ff - 1
+	}
+	return rep, nil
+}

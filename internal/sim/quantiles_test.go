@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestEstimateMakespanDistribution(t *testing.T) {
+	segs := []core.Segment{{Work: 10, Checkpoint: 1, Recovery: 2}}
+	d, err := EstimateMakespanDistribution(segs, ExponentialFactory(0.05), Options{Downtime: 0.5}, 20000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Samples != 20000 {
+		t.Errorf("samples = %d", d.Samples)
+	}
+	// Quantiles must be ordered and bracket the failure-free minimum.
+	if !(d.P50 <= d.P90 && d.P90 <= d.P99 && d.P99 <= d.P999) {
+		t.Errorf("quantiles not ordered: %v %v %v %v", d.P50, d.P90, d.P99, d.P999)
+	}
+	if d.P50 < 11 {
+		t.Errorf("median %v below failure-free time 11", d.P50)
+	}
+	// The failure-free outcome (no failure in 11 units at λ=0.05,
+	// probability e^{−0.55} ≈ 0.58) is the median.
+	if math.Abs(d.P50-11) > 1e-9 {
+		t.Errorf("median %v, want exactly 11 (failure-free majority)", d.P50)
+	}
+	if d.Summary.Mean() <= 11 {
+		t.Errorf("mean %v must exceed failure-free time", d.Summary.Mean())
+	}
+}
+
+func TestEstimateMakespanDistributionValidation(t *testing.T) {
+	if _, err := EstimateMakespanDistribution(nil, ExponentialFactory(1), Options{}, 0, rng.New(1)); err == nil {
+		t.Error("zero runs should fail")
+	}
+}
+
+func TestReport(t *testing.T) {
+	cp := onlineChain(t, 8, 0.06, 0.4)
+	res, err := core.SolveChainDP(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Report(cp, res.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Expected-res.Expected) > 1e-9*res.Expected {
+		t.Errorf("report expected %v ≠ DP %v", rep.Expected, res.Expected)
+	}
+	if rep.Checkpoints != len(res.Positions()) {
+		t.Errorf("checkpoints %d ≠ %d", rep.Checkpoints, len(res.Positions()))
+	}
+	if rep.FailureFree <= 0 || rep.Expected < rep.FailureFree {
+		t.Errorf("failure-free %v vs expected %v inconsistent", rep.FailureFree, rep.Expected)
+	}
+	if rep.ExpectedWaste <= 0 {
+		t.Errorf("waste %v must be positive under failures", rep.ExpectedWaste)
+	}
+	if rep.StdDev <= 0 {
+		t.Errorf("stddev %v must be positive", rep.StdDev)
+	}
+	if len(rep.Segments) != rep.Checkpoints {
+		t.Errorf("segments %d ≠ checkpoints %d", len(rep.Segments), rep.Checkpoints)
+	}
+	// Consistency with the analytic variance.
+	v, err := cp.MakespanVariance(res.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.StdDev*rep.StdDev-v) > 1e-9*v {
+		t.Errorf("stddev² %v ≠ variance %v", rep.StdDev*rep.StdDev, v)
+	}
+}
+
+func TestReportBadVector(t *testing.T) {
+	cp := onlineChain(t, 4, 0.05, 0)
+	if _, err := Report(cp, []bool{true}); err == nil {
+		t.Error("wrong-length vector should fail")
+	}
+}

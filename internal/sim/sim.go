@@ -1,0 +1,237 @@
+// Package sim is the discrete-event execution simulator: it replays a
+// checkpoint plan against a sampled failure process, reproducing exactly
+// the paper's execution model — segments of work ending in checkpoints,
+// rollback to the last checkpoint on failure, a failure-free downtime D,
+// and recoveries during which failures may strike again.
+//
+// The simulator is the substitute for the physical platform the paper
+// reasons about (see DESIGN.md): Monte-Carlo averages over runs converge
+// to the expectations the analytical formulas predict, which is how
+// experiments E1/E2 validate Proposition 1 and experiment E11 evaluates
+// the general-law heuristics the closed forms cannot cover.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// ErrTooManyFailures is returned when a single run exceeds its failure
+// budget — the guard against non-terminating configurations (e.g. a
+// deterministic failure law with inter-arrival shorter than the recovery).
+var ErrTooManyFailures = errors.New("sim: failure budget exhausted; execution cannot make progress")
+
+// RunStats decomposes one simulated execution.
+type RunStats struct {
+	// Makespan is the total wall-clock time of the run.
+	Makespan float64
+	// Failures counts failures (during work, checkpointing or recovery).
+	Failures int
+	// Lost is time spent computing work or checkpoints that was wasted.
+	Lost float64
+	// Downtime is total downtime served.
+	Downtime float64
+	// RecoveryTime is total time spent in recoveries (including failed
+	// recovery attempts).
+	RecoveryTime float64
+	// Useful is the productive time: work plus checkpoints that stuck.
+	Useful float64
+}
+
+// Options tunes a run.
+type Options struct {
+	// Downtime is D, the failure-free delay after every failure.
+	Downtime float64
+	// MaxFailures bounds the failures tolerated in one run (0 means the
+	// default of 10 million).
+	MaxFailures int
+}
+
+func (o Options) maxFailures() int {
+	if o.MaxFailures <= 0 {
+		return 10_000_000
+	}
+	return o.MaxFailures
+}
+
+// Run executes the segments in sequence against proc. Each segment is
+// attempted as an atomic unit of duration Work+Checkpoint; a failure
+// during the attempt wastes the time elapsed, costs a downtime (during
+// which no failure can occur, per the model) plus a recovery of the
+// segment's Recovery length (during which failures can occur), and the
+// attempt restarts from the segment's beginning.
+func Run(segments []core.Segment, proc failure.Process, opts Options) (RunStats, error) {
+	if opts.Downtime < 0 {
+		return RunStats{}, fmt.Errorf("sim: negative downtime %v", opts.Downtime)
+	}
+	var rs RunStats
+	budget := opts.maxFailures()
+	for _, seg := range segments {
+		dur := seg.Work + seg.Checkpoint
+		for {
+			next := proc.NextFailure()
+			if next >= dur {
+				// Attempt succeeds; the checkpointed state is a renewal point.
+				proc.Advance(dur)
+				rs.Makespan += dur
+				rs.Useful += dur
+				break
+			}
+			// Failure mid-attempt.
+			proc.ObserveFailure()
+			rs.Makespan += next
+			rs.Lost += next
+			rs.Failures++
+			if rs.Failures > budget {
+				return rs, ErrTooManyFailures
+			}
+			// Downtime: failure-free by assumption; process clocks frozen.
+			rs.Makespan += opts.Downtime
+			rs.Downtime += opts.Downtime
+			// Recovery: failures possible; repeat until one recovery
+			// completes.
+			for {
+				rnext := proc.NextFailure()
+				if rnext >= seg.Recovery {
+					proc.Advance(seg.Recovery)
+					rs.Makespan += seg.Recovery
+					rs.RecoveryTime += seg.Recovery
+					break
+				}
+				proc.ObserveFailure()
+				rs.Makespan += rnext
+				rs.RecoveryTime += rnext
+				rs.Failures++
+				if rs.Failures > budget {
+					return rs, ErrTooManyFailures
+				}
+				rs.Makespan += opts.Downtime
+				rs.Downtime += opts.Downtime
+			}
+		}
+	}
+	return rs, nil
+}
+
+// ProcessFactory builds a fresh failure process for one run, drawing its
+// randomness from the supplied stream.
+type ProcessFactory func(r *rng.Stream) failure.Process
+
+// ExponentialFactory returns a factory for the paper's core model: a
+// platform-level Exponential process of rate lambda.
+func ExponentialFactory(lambda float64) ProcessFactory {
+	return func(r *rng.Stream) failure.Process {
+		return failure.NewExponentialProcess(lambda, r)
+	}
+}
+
+// SuperposedFactory returns a factory for a platform of n processors with
+// the given per-processor law and rejuvenation policy.
+func SuperposedFactory(dist failure.Distribution, n int, policy failure.RejuvenationPolicy) ProcessFactory {
+	return func(r *rng.Stream) failure.Process {
+		sp, err := failure.NewSuperposedProcess(dist, n, policy, r)
+		if err != nil {
+			panic(err) // n validated by callers; see MonteCarlo
+		}
+		return sp
+	}
+}
+
+// MCResult aggregates a Monte-Carlo campaign.
+type MCResult struct {
+	// Makespan summarizes the per-run makespans.
+	Makespan stats.Summary
+	// Failures summarizes the per-run failure counts.
+	Failures stats.Summary
+	// Lost, Downtime, RecoveryTime and Useful summarize the per-run
+	// decompositions.
+	Lost, Downtime, RecoveryTime, Useful stats.Summary
+	// Runs is the number of completed runs.
+	Runs int
+}
+
+// MonteCarlo simulates the segments runs times and aggregates. Runs are
+// distributed over worker goroutines, each with an independent split of
+// the seed stream, so results are deterministic for a given seed
+// regardless of scheduling.
+func MonteCarlo(segments []core.Segment, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (MCResult, error) {
+	if runs <= 0 {
+		return MCResult{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	type partial struct {
+		res MCResult
+		err error
+	}
+	parts := make([]partial, workers)
+	streams := make([]*rng.Stream, workers)
+	for i := range streams {
+		streams[i] = seed.Split()
+	}
+	var wg sync.WaitGroup
+	per := runs / workers
+	extra := runs % workers
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			r := streams[w]
+			var acc MCResult
+			for i := 0; i < count; i++ {
+				proc := factory(r)
+				rs, err := Run(segments, proc, opts)
+				if err != nil {
+					parts[w].err = err
+					return
+				}
+				acc.Makespan.Add(rs.Makespan)
+				acc.Failures.Add(float64(rs.Failures))
+				acc.Lost.Add(rs.Lost)
+				acc.Downtime.Add(rs.Downtime)
+				acc.RecoveryTime.Add(rs.RecoveryTime)
+				acc.Useful.Add(rs.Useful)
+				acc.Runs++
+			}
+			parts[w].res = acc
+		}(w, count)
+	}
+	wg.Wait()
+	var out MCResult
+	for _, p := range parts {
+		if p.err != nil {
+			return MCResult{}, p.err
+		}
+		out.Makespan.Merge(p.res.Makespan)
+		out.Failures.Merge(p.res.Failures)
+		out.Lost.Merge(p.res.Lost)
+		out.Downtime.Merge(p.res.Downtime)
+		out.RecoveryTime.Merge(p.res.RecoveryTime)
+		out.Useful.Merge(p.res.Useful)
+		out.Runs += p.res.Runs
+	}
+	return out, nil
+}
+
+// MonteCarloPlan evaluates a chain problem's checkpoint vector by
+// simulation: it splits the problem into segments and runs MonteCarlo.
+func MonteCarloPlan(cp *core.ChainProblem, checkpointAfter []bool, factory ProcessFactory, runs int, seed *rng.Stream) (MCResult, error) {
+	segs, err := cp.Segments(checkpointAfter)
+	if err != nil {
+		return MCResult{}, err
+	}
+	return MonteCarlo(segs, factory, Options{Downtime: cp.Model.Downtime}, runs, seed)
+}

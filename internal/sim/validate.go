@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// EstimateExpectedTime Monte-Carlo-estimates E[T(W,C,D,R,λ)] — the
+// quantity of Proposition 1 — by simulating a single segment. Experiment
+// E1 compares the returned summary's confidence interval against the
+// closed form.
+func EstimateExpectedTime(w, c, d, r, lambda float64, runs int, seed *rng.Stream) (stats.Summary, error) {
+	if lambda <= 0 {
+		return stats.Summary{}, fmt.Errorf("sim: λ must be positive, got %v", lambda)
+	}
+	seg := []core.Segment{{Work: w, Checkpoint: c, Recovery: r}}
+	res, err := MonteCarlo(seg, ExponentialFactory(lambda), Options{Downtime: d}, runs, seed)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return res.Makespan, nil
+}
+
+// EstimateLost Monte-Carlo-estimates E[Tlost]: the expectation of an
+// Exp(λ) variate conditioned on being smaller than W+C (Eq. 4 of the
+// paper). Sampling is by rejection, which is exact.
+func EstimateLost(w, c, lambda float64, runs int, seed *rng.Stream) (stats.Summary, error) {
+	if lambda <= 0 {
+		return stats.Summary{}, fmt.Errorf("sim: λ must be positive, got %v", lambda)
+	}
+	horizon := w + c
+	if horizon <= 0 {
+		return stats.Summary{}, fmt.Errorf("sim: W+C must be positive, got %v", horizon)
+	}
+	var s stats.Summary
+	for i := 0; i < runs; i++ {
+		for {
+			x := seed.ExpFloat64() / lambda
+			if x < horizon {
+				s.Add(x)
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+// EstimateRecovery Monte-Carlo-estimates E[Trec]: the downtime-plus-
+// recovery delay including failures during recovery (Eq. 5). Each sample
+// plays the downtime/recovery loop until a recovery of length R completes.
+func EstimateRecovery(d, r, lambda float64, runs int, seed *rng.Stream) (stats.Summary, error) {
+	if lambda <= 0 {
+		return stats.Summary{}, fmt.Errorf("sim: λ must be positive, got %v", lambda)
+	}
+	if d < 0 || r < 0 {
+		return stats.Summary{}, fmt.Errorf("sim: negative D (%v) or R (%v)", d, r)
+	}
+	var s stats.Summary
+	for i := 0; i < runs; i++ {
+		total := d // downtime is failure-free
+		for {
+			x := seed.ExpFloat64() / lambda
+			if x >= r {
+				total += r
+				break
+			}
+			total += x + d
+		}
+		s.Add(total)
+	}
+	return s, nil
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov returns the one-sample KS statistic
+// D_n = sup_x |F_n(x) − F(x)| between the empirical distribution of the
+// sample and the hypothesized CDF. It is used to validate the failure-law
+// samplers against their analytic CDFs and fitted laws against traces.
+func KolmogorovSmirnov(sample []float64, cdf func(float64) float64) (float64, error) {
+	n := len(sample)
+	if n == 0 {
+		return 0, fmt.Errorf("stats: empty sample")
+	}
+	sorted := make([]float64, n)
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return 0, fmt.Errorf("stats: CDF returned %v at %v", f, x)
+		}
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(hi - f); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the approximate critical value of the KS
+// statistic at the given significance level alpha (two-sided), using the
+// asymptotic Kolmogorov distribution: c(α)/√n with
+// c(α) = sqrt(−ln(α/2)/2). Valid for n ≳ 35.
+func KSCriticalValue(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: sample size must be positive, got %d", n)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("stats: significance level must be in (0, 1), got %v", alpha)
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// KSTest reports whether the sample is consistent with the CDF at
+// significance alpha: true means "not rejected".
+func KSTest(sample []float64, cdf func(float64) float64, alpha float64) (bool, float64, error) {
+	d, err := KolmogorovSmirnov(sample, cdf)
+	if err != nil {
+		return false, 0, err
+	}
+	crit, err := KSCriticalValue(len(sample), alpha)
+	if err != nil {
+		return false, 0, err
+	}
+	return d <= crit, d, nil
+}

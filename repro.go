@@ -1,0 +1,154 @@
+// Package repro reproduces, as a production-quality Go library, the system
+// described in:
+//
+//	Yves Robert, Frédéric Vivien, Dounia Zaidouni.
+//	"On the complexity of scheduling checkpoints for computational
+//	workflows." INRIA Research Report RR-7907 (DSN 2012 companion), 2012.
+//
+// The paper studies the joint problem of ordering the tasks of a workflow
+// DAG and deciding after which tasks to checkpoint, under Exponential
+// failures with downtime and recovery, so as to minimize the expected
+// makespan. Its three results — the exact expectation formula
+// (Proposition 1), strong NP-completeness via 3-PARTITION
+// (Proposition 2), and the O(n²) optimal dynamic program for linear
+// chains (Proposition 3) — are all implemented, exhaustively tested, and
+// numerically validated here, together with the three extensions the
+// paper sketches (content-dependent checkpoint costs, moldable tasks,
+// general failure laws).
+//
+// This root package is a thin facade over the implementation packages:
+//
+//   - internal/expectation — Proposition 1 and the comparator formulas
+//   - internal/core        — the schedulers (chain DP, independent tasks,
+//     DAG linearization + placement, 3-PARTITION reduction)
+//   - internal/dag         — the workflow graph model and generators
+//   - internal/sim         — the discrete-event execution simulator
+//   - internal/failure     — failure laws and platform processes
+//   - internal/platform, internal/moldable, internal/heuristic,
+//     internal/partition, internal/trace, internal/expt — substrates and
+//     the experiment harness (see DESIGN.md)
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	model, _ := repro.NewModel(1.0/100, 1.0) // λ = 1/100h, D = 1h
+//	g := repro.NewGraph()
+//	... add tasks and edges ...
+//	plan, _ := repro.OptimalChainPlan(g, model, 0)
+//	fmt.Println(plan.Expected, plan.Positions())
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expectation"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Model carries the failure environment: the platform failure rate λ and
+// the downtime D. It is internal/expectation.Model re-exported.
+type Model = expectation.Model
+
+// NewModel validates and builds a Model.
+func NewModel(lambda, downtime float64) (Model, error) {
+	return expectation.NewModel(lambda, downtime)
+}
+
+// Graph is the workflow DAG (internal/dag.Graph re-exported).
+type Graph = dag.Graph
+
+// Task is a workflow task (internal/dag.Task re-exported).
+type Task = dag.Task
+
+// NewGraph returns an empty workflow graph.
+func NewGraph() *Graph { return dag.New() }
+
+// Plan is an execution order plus checkpoint decisions
+// (internal/core.Plan re-exported).
+type Plan = core.Plan
+
+// ChainResult is the output of the chain optimizers
+// (internal/core.ChainResult re-exported).
+type ChainResult = core.ChainResult
+
+// ExpectedTime returns E[T(W,C,D,R,λ)], the Proposition 1 closed form.
+func ExpectedTime(m Model, w, c, r float64) float64 {
+	return m.ExpectedTime(w, c, r)
+}
+
+// OptimalChainPlan computes the optimal checkpoint placement for a
+// workflow whose DAG is a linear chain, using Algorithm 1 (Proposition 3).
+// initialRecovery is R₀, the cost of restarting from the initial state
+// before any checkpoint exists (commonly 0).
+func OptimalChainPlan(g *Graph, m Model, initialRecovery float64) (ChainResult, error) {
+	cp, _, err := core.NewChainProblem(g, m, initialRecovery)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return core.SolveChainDP(cp)
+}
+
+// ScheduleDAG schedules a general workflow DAG: it linearizes the graph
+// with a portfolio of heuristics (optimal ordering is strongly NP-hard by
+// Proposition 2) and runs the exact per-order placement DP, returning the
+// best schedule found.
+func ScheduleDAG(g *Graph, m Model) (core.DAGResult, error) {
+	return core.SolveDAG(g, m, core.LastTaskCosts{}, nil)
+}
+
+// EvaluatePlan returns the exact expected makespan of an explicit plan.
+func EvaluatePlan(m Model, g *Graph, plan Plan, initialRecovery float64) (float64, error) {
+	return core.EvaluatePlan(m, g, plan, initialRecovery)
+}
+
+// Simulate Monte-Carlo-simulates a chain plan under Exponential failures
+// with the model's rate and downtime, returning the mean simulated
+// makespan and its 99% confidence half-width.
+func Simulate(g *Graph, m Model, checkpointAfter []bool, runs int, seed uint64) (mean, ci float64, err error) {
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := sim.MonteCarloPlan(cp, checkpointAfter, sim.ExponentialFactory(m.Lambda), runs, rng.New(seed))
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Makespan.Mean(), res.Makespan.CI(0.99), nil
+}
+
+// PlanReport bundles the analytical assessment of a chain plan: expected
+// makespan, standard deviation, failure-free makespan, expected waste,
+// and the segment decomposition (internal/sim.PlanReport re-exported).
+type PlanReport = sim.PlanReport
+
+// ReportChainPlan assembles the analytical report for a checkpoint
+// placement on a chain workflow: exact expectation (Proposition 1 per
+// segment) plus the exact variance from the second-moment extension.
+func ReportChainPlan(g *Graph, m Model, checkpointAfter []bool, initialRecovery float64) (PlanReport, error) {
+	cp, _, err := core.NewChainProblem(g, m, initialRecovery)
+	if err != nil {
+		return PlanReport{}, err
+	}
+	return sim.Report(cp, checkpointAfter)
+}
+
+// OptimalChainPlanBounded is OptimalChainPlan under a checkpoint budget:
+// the optimal placement using at most maxCheckpoints checkpoints.
+func OptimalChainPlanBounded(g *Graph, m Model, initialRecovery float64, maxCheckpoints int) (ChainResult, error) {
+	cp, _, err := core.NewChainProblem(g, m, initialRecovery)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return core.SolveChainDPBounded(cp, maxCheckpoints)
+}
+
+// Exponential builds the memoryless failure law of the core model.
+func Exponential(lambda float64) (failure.Exponential, error) {
+	return failure.NewExponential(lambda)
+}
+
+// Weibull builds the heavy-tailed law of the general-failure extension.
+func Weibull(shape, scale float64) (failure.Weibull, error) {
+	return failure.NewWeibull(shape, scale)
+}

@@ -1,0 +1,162 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func buildChain(t *testing.T) *repro.Graph {
+	t.Helper()
+	g := repro.NewGraph()
+	prev := -1
+	for _, task := range []repro.Task{
+		{Name: "a", Weight: 5, Checkpoint: 0.2, Recovery: 0.2},
+		{Name: "b", Weight: 10, Checkpoint: 0.5, Recovery: 0.5},
+		{Name: "c", Weight: 3, Checkpoint: 0.1, Recovery: 0.1},
+	} {
+		id, err := g.AddTask(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 {
+			if err := g.AddEdge(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	return g
+}
+
+func TestFacadeModel(t *testing.T) {
+	m, err := repro.NewModel(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := repro.ExpectedTime(m, 10, 1, 1)
+	want := math.Exp(0.01) * (100 + 1) * (math.Exp(0.11) - 1)
+	if math.Abs(e-want) > 1e-9*want {
+		t.Errorf("ExpectedTime = %v, want %v", e, want)
+	}
+	if _, err := repro.NewModel(-1, 0); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestFacadeOptimalChainPlan(t *testing.T) {
+	g := buildChain(t)
+	m, err := repro.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := repro.OptimalChainPlan(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Expected <= 18 { // at least the failure-free work + final C
+		t.Errorf("Expected = %v, implausibly small", plan.Expected)
+	}
+	if !plan.CheckpointAfter[len(plan.CheckpointAfter)-1] {
+		t.Error("final checkpoint missing")
+	}
+}
+
+func TestFacadeEvaluateAndSimulateAgree(t *testing.T) {
+	g := buildChain(t)
+	m, err := repro.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := repro.OptimalChainPlan(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := repro.Plan{Order: []int{0, 1, 2}, CheckpointAfter: plan.CheckpointAfter}
+	e, err := repro.EvaluatePlan(m, g, full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-plan.Expected) > 1e-9 {
+		t.Errorf("EvaluatePlan %v ≠ plan.Expected %v", e, plan.Expected)
+	}
+	mean, ci, err := repro.Simulate(g, m, plan.CheckpointAfter, 40000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-e) > 4*ci {
+		t.Errorf("simulated %v ± %v too far from analytical %v", mean, ci, e)
+	}
+}
+
+func TestFacadeScheduleDAG(t *testing.T) {
+	g := repro.NewGraph()
+	a, _ := g.AddTask(repro.Task{Weight: 2, Checkpoint: 0.1, Recovery: 0.1})
+	b, _ := g.AddTask(repro.Task{Weight: 3, Checkpoint: 0.1, Recovery: 0.1})
+	c, _ := g.AddTask(repro.Task{Weight: 4, Checkpoint: 0.1, Recovery: 0.1})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, c); err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.NewModel(0.02, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.ScheduleDAG(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan().Validate(g); err != nil {
+		t.Errorf("facade DAG plan invalid: %v", err)
+	}
+}
+
+func TestFacadeReportAndBudget(t *testing.T) {
+	g := buildChain(t)
+	m, err := repro.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := repro.OptimalChainPlan(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.ReportChainPlan(g, m, plan.CheckpointAfter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Expected-plan.Expected) > 1e-9*plan.Expected {
+		t.Errorf("report %v ≠ plan %v", rep.Expected, plan.Expected)
+	}
+	if rep.StdDev <= 0 || rep.ExpectedWaste <= 0 {
+		t.Errorf("degenerate report %+v", rep)
+	}
+
+	bounded, err := repro.OptimalChainPlanBounded(g, m, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bounded.Positions()); got != 1 {
+		t.Errorf("budget 1 plan has %d checkpoints", got)
+	}
+	if bounded.Expected < plan.Expected {
+		t.Error("budgeted plan cannot beat the unconstrained optimum")
+	}
+}
+
+func TestFacadeDistributions(t *testing.T) {
+	if _, err := repro.Exponential(0); err == nil {
+		t.Error("invalid exponential accepted")
+	}
+	e, err := repro.Exponential(0.5)
+	if err != nil || e.Mean() != 2 {
+		t.Errorf("Exponential: %v %v", e, err)
+	}
+	w, err := repro.Weibull(0.7, 10)
+	if err != nil || w.Shape != 0.7 {
+		t.Errorf("Weibull: %v %v", w, err)
+	}
+}
