@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("")
+	if err != nil || len(all) != 12 {
+		t.Fatalf("default selection: %d experiments, err %v", len(all), err)
+	}
+	sel, err := selectExperiments("E5, E1,E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Info().ID != "E5" || sel[1].Info().ID != "E1" {
+		t.Errorf("selection order/dedup wrong: %v", sel)
+	}
+}
+
+func TestUnknownExperimentFailsLoudly(t *testing.T) {
+	for _, list := range []string{"E99", "bogus", "E1,,E2", ","} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-run", list, "-quick"}, &stdout, &stderr)
+		if code == 0 {
+			t.Errorf("-run %q exited 0", list)
+		}
+		msg := stderr.String()
+		if !strings.Contains(msg, "E1") || !strings.Contains(msg, "E12") {
+			t.Errorf("-run %q error does not list valid IDs: %s", list, msg)
+		}
+	}
+}
+
+func TestConflictingFormats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-csv", "-json"}, &stdout, &stderr); code == 0 {
+		t.Error("-csv -json accepted")
+	}
+}
+
+func TestRunTextAndJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// E4 is pure-analytical and fast even at full budget.
+	if code := run([]string{"-run", "E4", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("text run failed (%d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "### E4") {
+		t.Errorf("missing experiment header:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "E4", "-quick", "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("json run failed (%d): %s", code, stderr.String())
+	}
+	var got []struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Rows []struct {
+				Cells []struct {
+					Kind string `json:"kind"`
+				} `json:"cells"`
+			} `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON output: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != "E4" || len(got[0].Tables) == 0 || len(got[0].Tables[0].Rows) == 0 {
+		t.Errorf("unexpected JSON shape: %s", stdout.String())
+	}
+}

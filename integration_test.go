@@ -6,12 +6,16 @@ package repro_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/expectation"
+	"repro/internal/expt"
+	"repro/internal/expt/engine"
+	"repro/internal/expt/render"
 	"repro/internal/failure"
 	"repro/internal/heuristic"
 	"repro/internal/partition"
@@ -19,6 +23,63 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// TestIntegrationEngineSuite runs the whole experiment suite the way
+// cmd/chkptbench does — through the parallel engine — and pushes the
+// typed results through all three renderers, round-tripping the JSON.
+func TestIntegrationEngineSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run skipped with -short")
+	}
+	cfg := expt.Config{Seed: 7, Quick: true}
+	results := engine.Runner{Workers: 4}.RunAll(cfg)
+	if err := engine.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("engine ran %d experiments, want 12", len(results))
+	}
+	var text, csv, jsonBuf bytes.Buffer
+	suites := make([]render.Suite, 0, len(results))
+	for _, res := range results {
+		if len(res.Tables) == 0 {
+			t.Errorf("%s produced no tables", res.Info.ID)
+		}
+		for _, tb := range res.Tables {
+			if err := render.Text(&text, tb); err != nil {
+				t.Fatal(err)
+			}
+			if err := render.CSV(&csv, tb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		suites = append(suites, render.Suite{
+			ID: res.Info.ID, Title: res.Info.Title, Claim: res.Info.Claim, Tables: res.Tables,
+		})
+	}
+	if text.Len() == 0 || csv.Len() == 0 {
+		t.Fatal("renderers produced no output")
+	}
+	if err := render.JSON(&jsonBuf, suites); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Columns []string          `json:"columns"`
+			Rows    []json.RawMessage `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if len(decoded) != 12 || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
+		t.Fatalf("unexpected JSON shape: %d suites", len(decoded))
+	}
+	if len(decoded[0].Tables[0].Rows) == 0 {
+		t.Fatal("E1's first table decoded with no rows")
+	}
+}
 
 // TestIntegrationTraceToPlanToSimulation plays the full general-law
 // workflow: generate a failure log, fit laws, plan with the fitted

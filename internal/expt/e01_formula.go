@@ -4,30 +4,30 @@ import (
 	"fmt"
 
 	"repro/internal/expectation"
+	"repro/internal/expt/result"
 	"repro/internal/numeric"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E1",
 		Title: "Proposition 1 closed form vs Monte-Carlo simulation",
 		Claim: "E[T(W,C,D,R,λ)] = e^{λR}(1/λ+D)(e^{λ(W+C)}−1) exactly (Prop. 1)",
-		Run:   runE1,
-	})
+	}, planE1)
 }
 
-func runE1(cfg Config) ([]*Table, error) {
+func planE1(cfg Config) (*Plan, error) {
 	runs := cfg.Runs(100_000, 4_000)
-	seed := rng.New(cfg.Seed)
-	t := &Table{
+	p := &Plan{}
+	tab := p.AddTable(&result.Table{
 		ID:    "E1",
 		Title: fmt.Sprintf("closed form vs simulation (%d runs/cell, 99.9%% CI)", runs),
 		Columns: []string{
 			"W", "C", "D", "R", "lambda", "E_closed", "E_sim", "CI(99.9%)", "rel_err", "inCI",
 		},
-	}
+	})
 	type cell struct{ w, c, d, r, lambda float64 }
 	cells := []cell{
 		{1, 0.1, 0, 0.1, 0.01},
@@ -43,32 +43,46 @@ func runE1(cfg Config) ([]*Table, error) {
 		{500, 10, 5, 10, 0.001},
 		{2, 0.5, 0.5, 0.25, 0.1},
 	}
-	allIn := true
-	var worst float64
-	for _, c := range cells {
-		m, err := expectation.NewModel(c.lambda, c.d)
-		if err != nil {
-			return nil, err
-		}
-		closed := m.ExpectedTime(c.w, c.c, c.r)
-		est, err := sim.EstimateExpectedTime(c.w, c.c, c.d, c.r, c.lambda, runs, seed.Split())
-		if err != nil {
-			return nil, err
-		}
-		rel := numeric.RelErr(est.Mean(), closed)
-		in := est.Contains(closed, 0.999)
-		if !in {
-			allIn = false
-		}
-		if rel > worst {
-			worst = rel
-		}
-		t.AddRow(fm(c.w), fm(c.c), fm(c.d), fm(c.r), fm(c.lambda),
-			fm(closed), fm(est.Mean()), fe(est.CI(0.999)), fe(rel), fb(in))
+	type verdict struct {
+		rel float64
+		in  bool
 	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("pass: every closed-form value inside the simulated 99.9%% CI → %s", fb(allIn)),
-		fmt.Sprintf("worst relative error %.2e (shrinks as 1/sqrt(runs))", worst),
-	)
-	return []*Table{t}, nil
+	for _, c := range cells {
+		c := c
+		p.Job(tab, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(c.lambda, c.d)
+			if err != nil {
+				return RowOut{}, err
+			}
+			closed := m.ExpectedTime(c.w, c.c, c.r)
+			est, err := sim.EstimateExpectedTime(c.w, c.c, c.d, c.r, c.lambda, runs, s)
+			if err != nil {
+				return RowOut{}, err
+			}
+			rel := numeric.RelErr(est.Mean(), closed)
+			in := est.Contains(closed, 0.999)
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(c.w), result.Float(c.c), result.Float(c.d), result.Float(c.r), result.Float(c.lambda),
+					result.Float(closed), result.Float(est.Mean()), result.Sci(est.CI(0.999)), result.Sci(rel), result.Bool(in),
+				},
+				Value: verdict{rel: rel, in: in},
+			}, nil
+		})
+	}
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		allIn := true
+		var worst float64
+		for _, o := range outs {
+			v := o.Value.(verdict)
+			allIn = allIn && v.in
+			if v.rel > worst {
+				worst = v.rel
+			}
+		}
+		tables[tab].AddNote("pass: every closed-form value inside the simulated 99.9%% CI → %s", yn(allIn))
+		tables[tab].AddNote("worst relative error %.2e (shrinks as 1/sqrt(runs))", worst)
+		return nil
+	}
+	return p, nil
 }

@@ -4,100 +4,130 @@ import (
 	"fmt"
 
 	"repro/internal/expectation"
+	"repro/internal/expt/result"
 	"repro/internal/numeric"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E2",
 		Title: "Equations 3–5: E[Tlost], E[Trec] components and the recursion identity",
 		Claim: "Eq. 4 (E[Tlost]) and Eq. 5 (E[Trec]) are exact; Eq. 3 recursion equals the factored closed form",
-		Run:   runE2,
-	})
+	}, planE2)
 }
 
-func runE2(cfg Config) ([]*Table, error) {
+func planE2(cfg Config) (*Plan, error) {
 	runs := cfg.Runs(200_000, 8_000)
-	seed := rng.New(cfg.Seed + 1)
+	p := &Plan{}
 
-	lost := &Table{
+	lost := p.AddTable(&result.Table{
 		ID:      "E2",
 		Title:   fmt.Sprintf("E[Tlost] (Eq. 4) vs conditional sampling (%d samples)", runs),
 		Columns: []string{"W+C", "lambda", "Eq4", "simulated", "CI(99.9%)", "inCI"},
-	}
-	allIn := true
-	for _, c := range []struct{ wc, lambda float64 }{
+	})
+	lostCases := []struct{ wc, lambda float64 }{
 		{1, 0.01}, {10, 0.01}, {12, 0.1}, {50, 0.05}, {3, 1},
-	} {
-		m, err := expectation.NewModel(c.lambda, 0)
-		if err != nil {
-			return nil, err
-		}
-		want := m.ExpectedLost(c.wc, 0)
-		est, err := sim.EstimateLost(c.wc, 0, c.lambda, runs, seed.Split())
-		if err != nil {
-			return nil, err
-		}
-		in := est.Contains(want, 0.999)
-		allIn = allIn && in
-		lost.AddRow(fm(c.wc), fm(c.lambda), fm(want), fm(est.Mean()), fe(est.CI(0.999)), fb(in))
 	}
-	lost.Notes = append(lost.Notes, fmt.Sprintf("pass: all inside CI → %s", fb(allIn)))
+	for _, c := range lostCases {
+		c := c
+		p.Job(lost, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(c.lambda, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			want := m.ExpectedLost(c.wc, 0)
+			est, err := sim.EstimateLost(c.wc, 0, c.lambda, runs, s)
+			if err != nil {
+				return RowOut{}, err
+			}
+			in := est.Contains(want, 0.999)
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(c.wc), result.Float(c.lambda), result.Float(want),
+					result.Float(est.Mean()), result.Sci(est.CI(0.999)), result.Bool(in),
+				},
+				Value: in,
+			}, nil
+		})
+	}
 
-	rec := &Table{
+	rec := p.AddTable(&result.Table{
 		ID:      "E2",
 		Title:   fmt.Sprintf("E[Trec] (Eq. 5) vs downtime/recovery-loop simulation (%d samples)", runs),
 		Columns: []string{"D", "R", "lambda", "Eq5", "simulated", "CI(99.9%)", "inCI"},
-	}
-	allIn = true
-	for _, c := range []struct{ d, r, lambda float64 }{
+	})
+	recCases := []struct{ d, r, lambda float64 }{
 		{0, 1, 0.05}, {1, 1, 0.05}, {2, 5, 0.1}, {0.5, 0.5, 1}, {5, 10, 0.02},
-	} {
-		m, err := expectation.NewModel(c.lambda, c.d)
-		if err != nil {
-			return nil, err
-		}
-		want := m.ExpectedRecovery(c.r)
-		est, err := sim.EstimateRecovery(c.d, c.r, c.lambda, runs, seed.Split())
-		if err != nil {
-			return nil, err
-		}
-		in := est.Contains(want, 0.999)
-		allIn = allIn && in
-		rec.AddRow(fm(c.d), fm(c.r), fm(c.lambda), fm(want), fm(est.Mean()), fe(est.CI(0.999)), fb(in))
 	}
-	rec.Notes = append(rec.Notes, fmt.Sprintf("pass: all inside CI → %s", fb(allIn)))
+	for _, c := range recCases {
+		c := c
+		p.Job(rec, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(c.lambda, c.d)
+			if err != nil {
+				return RowOut{}, err
+			}
+			want := m.ExpectedRecovery(c.r)
+			est, err := sim.EstimateRecovery(c.d, c.r, c.lambda, runs, s)
+			if err != nil {
+				return RowOut{}, err
+			}
+			in := est.Contains(want, 0.999)
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(c.d), result.Float(c.r), result.Float(c.lambda), result.Float(want),
+					result.Float(est.Mean()), result.Sci(est.CI(0.999)), result.Bool(in),
+				},
+				Value: in,
+			}, nil
+		})
+	}
 
-	ident := &Table{
+	ident := p.AddTable(&result.Table{
 		ID:      "E2",
 		Title:   "recursion (Eq. 3) vs factored closed form (Prop. 1), max relative gap over a parameter grid",
 		Columns: []string{"grid", "cells", "max_rel_gap", "pass(<1e-9)"},
-	}
-	var worst float64
-	count := 0
-	for _, l := range []float64{1e-6, 1e-3, 0.01, 0.1, 1} {
-		for _, d := range []float64{0, 0.5, 5} {
-			m, err := expectation.NewModel(l, d)
-			if err != nil {
-				return nil, err
-			}
-			for _, w := range []float64{0.1, 1, 50, 500} {
-				for _, ck := range []float64{0, 0.1, 3} {
-					for _, r := range []float64{0, 0.2, 4} {
-						a := m.ExpectedTime(w, ck, r)
-						b := m.ExpectedTimeRecursion(w, ck, r)
-						if g := numeric.RelErr(a, b); g > worst {
-							worst = g
+	})
+	p.Job(ident, func(s *rng.Stream) (RowOut, error) {
+		var worst float64
+		count := 0
+		for _, l := range []float64{1e-6, 1e-3, 0.01, 0.1, 1} {
+			for _, d := range []float64{0, 0.5, 5} {
+				m, err := expectation.NewModel(l, d)
+				if err != nil {
+					return RowOut{}, err
+				}
+				for _, w := range []float64{0.1, 1, 50, 500} {
+					for _, ck := range []float64{0, 0.1, 3} {
+						for _, r := range []float64{0, 0.2, 4} {
+							a := m.ExpectedTime(w, ck, r)
+							b := m.ExpectedTimeRecursion(w, ck, r)
+							if g := numeric.RelErr(a, b); g > worst {
+								worst = g
+							}
+							count++
 						}
-						count++
 					}
 				}
 			}
 		}
-	}
-	ident.AddRow("λ×D×W×C×R", fmt.Sprintf("%d", count), fe(worst), fb(worst < 1e-9))
+		return RowOut{Cells: []result.Cell{
+			result.Str("λ×D×W×C×R"), result.Int(count), result.Sci(worst), result.Bool(worst < 1e-9),
+		}}, nil
+	})
 
-	return []*Table{lost, rec, ident}, nil
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		for _, tab := range []int{lost, rec} {
+			allIn := true
+			for j, job := range p.Jobs {
+				if job.Table == tab {
+					allIn = allIn && outs[j].Value.(bool)
+				}
+			}
+			tables[tab].AddNote("pass: all inside CI → %s", yn(allIn))
+		}
+		return nil
+	}
+	return p, nil
 }

@@ -1,125 +1,158 @@
 package expt
 
 import (
-	"fmt"
-	"math"
-
 	"repro/internal/expectation"
+	"repro/internal/expt/result"
 	"repro/internal/numeric"
+	"repro/internal/rng"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E3",
 		Title: "Comparators: Daly's order approximations and the Bouguerra et al. formula",
 		Claim: "Prop. 1 is exact where Daly gives 1st/2nd-order approximations and [12] is inaccurate (it charges a recovery to the first attempt)",
-		Run:   runE3,
-	})
+	}, planE3)
 }
 
-func runE3(cfg Config) ([]*Table, error) {
+func planE3(cfg Config) (*Plan, error) {
+	p := &Plan{}
+
 	// Table 1: relative error of the approximations as λ(W+C) grows.
-	approx := &Table{
+	approx := p.AddTable(&result.Table{
 		ID:      "E3",
 		Title:   "relative error vs exact E[T] as x = λ(W+C) grows (W=10 C=1 R=1 D=0.5)",
 		Columns: []string{"x=λ(W+C)", "E_exact", "err_1st_order", "err_2nd_order", "err_always_recover"},
-	}
+	})
 	const w, c, r, d = 10.0, 1.0, 1.0, 0.5
-	var prev1, prev2 float64
-	ordered := true
-	growing := true
+	type approxOut struct{ e1, e2 float64 }
 	for _, x := range []float64{1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2, 4} {
-		lambda := x / (w + c)
-		m, err := expectation.NewModel(lambda, d)
-		if err != nil {
-			return nil, err
-		}
-		exact := m.ExpectedTime(w, c, r)
-		e1 := numeric.RelErr(m.FirstOrderExpectation(w, c, r), exact)
-		e2 := numeric.RelErr(m.SecondOrderExpectation(w, c, r), exact)
-		eb := numeric.RelErr(m.ExpectedTimeAlwaysRecover(w, c, r), exact)
-		if e2 > e1+1e-15 {
-			ordered = false
-		}
-		if e1 < prev1 || e2 < prev2 {
-			growing = false
-		}
-		prev1, prev2 = e1, e2
-		approx.AddRow(fe(x), fm(exact), fe(e1), fe(e2), fe(eb))
+		x := x
+		p.Job(approx, func(s *rng.Stream) (RowOut, error) {
+			lambda := x / (w + c)
+			m, err := expectation.NewModel(lambda, d)
+			if err != nil {
+				return RowOut{}, err
+			}
+			exact := m.ExpectedTime(w, c, r)
+			e1 := numeric.RelErr(m.FirstOrderExpectation(w, c, r), exact)
+			e2 := numeric.RelErr(m.SecondOrderExpectation(w, c, r), exact)
+			eb := numeric.RelErr(m.ExpectedTimeAlwaysRecover(w, c, r), exact)
+			return RowOut{
+				Cells: []result.Cell{
+					result.Sci(x), result.Float(exact), result.Sci(e1), result.Sci(e2), result.Sci(eb),
+				},
+				Value: approxOut{e1: e1, e2: e2},
+			}, nil
+		})
 	}
-	approx.Notes = append(approx.Notes,
-		fmt.Sprintf("2nd order at least as accurate as 1st everywhere → %s", fb(ordered)),
-		fmt.Sprintf("approximation errors grow with λ(W+C) → %s", fb(growing)),
-		"always-recover error is strictly positive for R > 0: the first attempt pays a recovery it does not need",
-	)
 
 	// Table 2: the always-recover error grows with λR at fixed work.
-	bt := &Table{
+	bt := p.AddTable(&result.Table{
 		ID:      "E3",
 		Title:   "always-recover ([12]) overestimate vs λR (W=10 C=1 D=0, λ=0.05)",
 		Columns: []string{"R", "λR", "E_exact", "E_alwaysrec", "overestimate_%"},
-	}
-	m, err := expectation.NewModel(0.05, 0)
-	if err != nil {
-		return nil, err
-	}
-	mono := true
-	prevOver := -1.0
+	})
 	for _, rr := range []float64{0, 0.5, 1, 2, 5, 10, 20} {
-		exact := m.ExpectedTime(10, 1, rr)
-		flawed := m.ExpectedTimeAlwaysRecover(10, 1, rr)
-		over := (flawed - exact) / exact * 100
-		if over < prevOver-1e-12 {
-			mono = false
-		}
-		prevOver = over
-		bt.AddRow(fm(rr), fm(0.05*rr), fm(exact), fm(flawed), fmt.Sprintf("%.3f", over))
+		rr := rr
+		p.Job(bt, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(0.05, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			exact := m.ExpectedTime(10, 1, rr)
+			flawed := m.ExpectedTimeAlwaysRecover(10, 1, rr)
+			over := (flawed - exact) / exact * 100
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(rr), result.Float(0.05 * rr), result.Float(exact),
+					result.Float(flawed), result.Fixed(over, 3),
+				},
+				Value: over,
+			}, nil
+		})
 	}
-	bt.Notes = append(bt.Notes,
-		fmt.Sprintf("overestimate is 0 at R=0 and grows with λR → %s", fb(mono)),
-	)
 
 	// Table 3: period selection — Young and Daly periods vs the exact
 	// Lambert-W optimum for a divisible load.
-	per := &Table{
+	per := p.AddTable(&result.Table{
 		ID:      "E3",
 		Title:   "divisible load W=1000, R=C, D=0: periods and resulting makespans",
 		Columns: []string{"C", "lambda", "T_young", "T_daly", "W*_lambert", "E_young", "E_daly", "E_opt", "young/opt", "daly/opt"},
-	}
-	allClose := true
+	})
 	for _, pc := range []struct{ c, lambda float64 }{
 		{0.1, 1e-3}, {1, 1e-3}, {10, 1e-3}, {1, 1e-2}, {1, 1e-1}, {5, 1e-2},
 	} {
-		m, err := expectation.NewModel(pc.lambda, 0)
-		if err != nil {
-			return nil, err
-		}
-		young := expectation.YoungPeriod(pc.c, pc.lambda)
-		daly := expectation.DalyPeriod(pc.c, pc.lambda)
-		chunk, err := expectation.OptimalChunk(pc.c, pc.lambda)
-		if err != nil {
-			return nil, err
-		}
-		const wTotal = 1000.0
-		eYoung := m.PeriodMakespan(wTotal, pc.c, pc.c, young)
-		eDaly := m.PeriodMakespan(wTotal, pc.c, pc.c, daly)
-		_, eOpt, err := m.OptimalChunkCount(wTotal, pc.c, pc.c)
-		if err != nil {
-			return nil, err
-		}
-		ry := eYoung / eOpt
-		rd := eDaly / eOpt
-		if rd > 1.05 {
-			allClose = false
-		}
-		per.AddRow(fm(pc.c), fm(pc.lambda), fm(young), fm(daly), fm(chunk),
-			fm(eYoung), fm(eDaly), fm(eOpt), fmt.Sprintf("%.4f", ry), fmt.Sprintf("%.4f", rd))
+		pc := pc
+		p.Job(per, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(pc.lambda, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			young := expectation.YoungPeriod(pc.c, pc.lambda)
+			daly := expectation.DalyPeriod(pc.c, pc.lambda)
+			chunk, err := expectation.OptimalChunk(pc.c, pc.lambda)
+			if err != nil {
+				return RowOut{}, err
+			}
+			const wTotal = 1000.0
+			eYoung := m.PeriodMakespan(wTotal, pc.c, pc.c, young)
+			eDaly := m.PeriodMakespan(wTotal, pc.c, pc.c, daly)
+			_, eOpt, err := m.OptimalChunkCount(wTotal, pc.c, pc.c)
+			if err != nil {
+				return RowOut{}, err
+			}
+			ry := eYoung / eOpt
+			rd := eDaly / eOpt
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(pc.c), result.Float(pc.lambda), result.Float(young), result.Float(daly), result.Float(chunk),
+					result.Float(eYoung), result.Float(eDaly), result.Float(eOpt), result.Fixed(ry, 4), result.Fixed(rd, 4),
+				},
+				Value: rd,
+			}, nil
+		})
 	}
-	per.Notes = append(per.Notes,
-		fmt.Sprintf("Daly's period within 5%% of the exact optimum across the sweep → %s", fb(allClose)),
-		"Young's simpler period degrades faster as λC grows",
-	)
 
-	_ = math.Pi // keep math import if note formulas change
-	return []*Table{approx, bt, per}, nil
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		ordered := true
+		growing := true
+		var prev1, prev2 float64
+		allClose := true
+		mono := true
+		prevOver := -1.0
+		first := true
+		for j, job := range p.Jobs {
+			switch job.Table {
+			case approx:
+				v := outs[j].Value.(approxOut)
+				if v.e2 > v.e1+1e-15 {
+					ordered = false
+				}
+				if !first && (v.e1 < prev1 || v.e2 < prev2) {
+					growing = false
+				}
+				prev1, prev2 = v.e1, v.e2
+				first = false
+			case bt:
+				over := outs[j].Value.(float64)
+				if over < prevOver-1e-12 {
+					mono = false
+				}
+				prevOver = over
+			case per:
+				if outs[j].Value.(float64) > 1.05 {
+					allClose = false
+				}
+			}
+		}
+		tables[approx].AddNote("2nd order at least as accurate as 1st everywhere → %s", yn(ordered))
+		tables[approx].AddNote("approximation errors grow with λ(W+C) → %s", yn(growing))
+		tables[approx].AddNote("always-recover error is strictly positive for R > 0: the first attempt pays a recovery it does not need")
+		tables[bt].AddNote("overestimate is 0 at R=0 and grows with λR → %s", yn(mono))
+		tables[per].AddNote("Daly's period within 5%% of the exact optimum across the sweep → %s", yn(allClose))
+		tables[per].AddNote("Young's simpler period degrades faster as λC grows")
+		return nil
+	}
+	return p, nil
 }

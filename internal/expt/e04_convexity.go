@@ -5,19 +5,20 @@ import (
 	"math"
 
 	"repro/internal/expectation"
+	"repro/internal/expt/result"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E4",
 		Title: "Convexity machinery of the Proposition 2 proof",
 		Claim: "g(m) = m(e^{λ(nT/m+C)}−1) is convex with unique minimum at m = n under λ=1/(2T), C=(ln2−½)/λ",
-		Run:   runE4,
-	})
+	}, planE4)
 }
 
-func runE4(cfg Config) ([]*Table, error) {
+func planE4(cfg Config) (*Plan, error) {
 	const (
 		tVal = 100.0
 		n    = 8.0
@@ -26,53 +27,72 @@ func runE4(cfg Config) ([]*Table, error) {
 	c := (math.Ln2 - 0.5) / lambda
 	w := n * tVal
 
-	curve := &Table{
+	p := &Plan{}
+	curve := p.AddTable(&result.Table{
 		ID:      "E4",
 		Title:   fmt.Sprintf("g(m) under the reduction parameters (T=%g, n=%g, λ=%g, C=%.6g)", tVal, n, lambda, c),
 		Columns: []string{"m", "g(m)", "g'(m)", "g''(m)"},
-	}
-	var ys []float64
+	})
 	for m := 1.0; m <= 2*n; m++ {
-		g := expectation.ProofG(lambda, w, c, m)
-		gp := expectation.ProofGPrime(lambda, w, c, m)
-		gpp := expectation.ProofGDoublePrime(lambda, w, c, m)
-		ys = append(ys, g)
-		curve.AddRow(fm(m), fm(g), fm(gp), fm(gpp))
+		m := m
+		p.Job(curve, func(s *rng.Stream) (RowOut, error) {
+			g := expectation.ProofG(lambda, w, c, m)
+			gp := expectation.ProofGPrime(lambda, w, c, m)
+			gpp := expectation.ProofGDoublePrime(lambda, w, c, m)
+			return RowOut{
+				Cells: []result.Cell{result.Float(m), result.Float(g), result.Float(gp), result.Float(gpp)},
+				Value: g,
+			}, nil
+		})
 	}
-	convex := stats.IsConvex(ys, 1e-9)
-	argmin := stats.ArgminSlice(ys) + 1
-	gPrimeAtN := expectation.ProofGPrime(lambda, w, c, n)
-	exponent := math.Exp(lambda * (tVal + c))
-	curve.Notes = append(curve.Notes,
-		fmt.Sprintf("discrete convexity over m ∈ [1, %g] → %s", 2*n, fb(convex)),
-		fmt.Sprintf("integer argmin = %d (proof predicts n = %g) → %s", argmin, n, fb(float64(argmin) == n)),
-		fmt.Sprintf("g'(n) = %.3e (proof predicts exactly 0)", gPrimeAtN),
-		fmt.Sprintf("e^{λ(T+C)} = %.12f (proof rigs it to exactly 2)", exponent),
-	)
 
 	// Equal-sums optimality: among groupings with m = n groups, unequal
 	// sums strictly lose (the convexity/Jensen step of the proof).
-	jensen := &Table{
+	jensen := p.AddTable(&result.Table{
 		ID:      "E4",
 		Title:   "Jensen step: equal group sums minimize Σe^{λT_i} at fixed m = n",
 		Columns: []string{"perturbation δ", "E_equal", "E_perturbed", "E_perturbed > E_equal"},
-	}
-	m, err := expectation.NewModel(lambda, 0)
-	if err != nil {
-		return nil, err
-	}
-	eEqual := m.EqualChunkMakespan(w, c, c, int(n))
-	allWorse := true
+	})
 	for _, delta := range []float64{1, 5, 20, 50} {
-		// Two groups perturbed by ±δ, the rest equal.
-		e := eEqual - 2*m.ExpectedTime(tVal, c, c) +
-			m.ExpectedTime(tVal+delta, c, c) + m.ExpectedTime(tVal-delta, c, c)
-		worse := e > eEqual
-		allWorse = allWorse && worse
-		jensen.AddRow(fm(delta), fm(eEqual), fm(e), fb(worse))
+		delta := delta
+		p.Job(jensen, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(lambda, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			eEqual := m.EqualChunkMakespan(w, c, c, int(n))
+			// Two groups perturbed by ±δ, the rest equal.
+			e := eEqual - 2*m.ExpectedTime(tVal, c, c) +
+				m.ExpectedTime(tVal+delta, c, c) + m.ExpectedTime(tVal-delta, c, c)
+			worse := e > eEqual
+			return RowOut{
+				Cells: []result.Cell{result.Float(delta), result.Float(eEqual), result.Float(e), result.Bool(worse)},
+				Value: worse,
+			}, nil
+		})
 	}
-	jensen.Notes = append(jensen.Notes,
-		fmt.Sprintf("every perturbation strictly increases E → %s", fb(allWorse)))
 
-	return []*Table{curve, jensen}, nil
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		var ys []float64
+		allWorse := true
+		for j, job := range p.Jobs {
+			switch job.Table {
+			case curve:
+				ys = append(ys, outs[j].Value.(float64))
+			case jensen:
+				allWorse = allWorse && outs[j].Value.(bool)
+			}
+		}
+		convex := stats.IsConvex(ys, 1e-9)
+		argmin := stats.ArgminSlice(ys) + 1
+		gPrimeAtN := expectation.ProofGPrime(lambda, w, c, n)
+		exponent := math.Exp(lambda * (tVal + c))
+		tables[curve].AddNote("discrete convexity over m ∈ [1, %g] → %s", 2*n, yn(convex))
+		tables[curve].AddNote("integer argmin = %d (proof predicts n = %g) → %s", argmin, n, yn(float64(argmin) == n))
+		tables[curve].AddNote("g'(n) = %.3e (proof predicts exactly 0)", gPrimeAtN)
+		tables[curve].AddNote("e^{λ(T+C)} = %.12f (proof rigs it to exactly 2)", exponent)
+		tables[jensen].AddNote("every perturbation strictly increases E → %s", yn(allWorse))
+		return nil
+	}
+	return p, nil
 }

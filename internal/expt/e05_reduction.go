@@ -4,99 +4,121 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/expt/result"
 	"repro/internal/partition"
 	"repro/internal/rng"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E5",
 		Title: "The 3-PARTITION reduction end-to-end",
 		Claim: "yes-instances reach E* = K exactly; no-instances have E* > K (Prop. 2, both directions)",
-		Run:   runE5,
-	})
+	}, planE5)
 }
 
-func runE5(cfg Config) ([]*Table, error) {
-	seed := rng.New(cfg.Seed + 5)
-	t := &Table{
+type e5Trial struct {
+	kind   string
+	groups int
+	target int
+}
+
+func planE5(cfg Config) (*Plan, error) {
+	p := &Plan{}
+	t := p.AddTable(&result.Table{
 		ID:    "E5",
 		Title: "reduced scheduling instances solved exactly (subset DP)",
 		Columns: []string{
 			"kind", "n", "T", "K", "E*", "gap=(E*-K)/K", "decide", "3PART(exact)", "agree",
 		},
-	}
-	type trial struct {
-		kind   string
-		groups int
-		target int
-	}
-	trials := []trial{
+	})
+	trials := []e5Trial{
 		{"yes", 2, 120}, {"yes", 3, 120}, {"yes", 4, 240}, {"yes", 5, 300},
 		{"no", 2, 120}, {"no", 3, 120}, {"no", 4, 240},
 	}
-	allAgree := true
 	for _, tr := range trials {
-		var in partition.Instance
-		var err error
-		if tr.kind == "yes" {
-			in, err = partition.GenerateYes(tr.groups, tr.target, seed)
-		} else {
-			in, err = partition.GenerateNo(tr.groups, tr.target, seed)
-		}
-		if err != nil {
-			return nil, err
-		}
-		ri, err := core.BuildReduction(in)
-		if err != nil {
-			return nil, err
-		}
-		decision, g, err := ri.DecideByScheduling()
-		if err != nil {
-			return nil, err
-		}
-		_, direct, err := partition.Solve(in)
-		if err != nil {
-			return nil, err
-		}
-		agree := decision == direct && direct == (tr.kind == "yes")
-		allAgree = allAgree && agree
-		t.AddRow(tr.kind, fmt.Sprintf("%d", in.Groups()), fmt.Sprintf("%d", in.Target),
-			fm(ri.Bound), fm(g.Expected), fe(ri.GapToBound(g)),
-			fb(decision), fb(direct), fb(agree))
+		tr := tr
+		p.Job(t, func(s *rng.Stream) (RowOut, error) {
+			var in partition.Instance
+			var err error
+			if tr.kind == "yes" {
+				in, err = partition.GenerateYes(tr.groups, tr.target, s)
+			} else {
+				in, err = partition.GenerateNo(tr.groups, tr.target, s)
+			}
+			if err != nil {
+				return RowOut{}, err
+			}
+			ri, err := core.BuildReduction(in)
+			if err != nil {
+				return RowOut{}, err
+			}
+			decision, g, err := ri.DecideByScheduling()
+			if err != nil {
+				return RowOut{}, err
+			}
+			_, direct, err := partition.Solve(in)
+			if err != nil {
+				return RowOut{}, err
+			}
+			agree := decision == direct && direct == (tr.kind == "yes")
+			return RowOut{
+				Cells: []result.Cell{
+					result.Str(tr.kind), result.Int(in.Groups()), result.Int(in.Target),
+					result.Float(ri.Bound), result.Float(g.Expected), result.Sci(ri.GapToBound(g)),
+					result.Bool(decision), result.Bool(direct), result.Bool(agree),
+				},
+				Value: agree,
+			}, nil
+		})
 	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("pass: scheduling decision ≡ 3-PARTITION decision on every instance → %s", fb(allAgree)),
-		"yes-instance gaps are 0 to machine precision; no-instance gaps are strictly positive",
-	)
 
 	// Forward-direction table: witness schedules achieve exactly K.
-	fwd := &Table{
+	fwd := p.AddTable(&result.Table{
 		ID:      "E5",
 		Title:   "forward direction: schedule built from a 3-PARTITION witness",
 		Columns: []string{"n", "T", "K", "E(witness)", "|E-K|/K"},
+	})
+	for _, tr := range []e5Trial{{"yes", 3, 120}, {"yes", 5, 300}, {"yes", 7, 420}} {
+		tr := tr
+		p.Job(fwd, func(s *rng.Stream) (RowOut, error) {
+			in, err := partition.GenerateYes(tr.groups, tr.target, s)
+			if err != nil {
+				return RowOut{}, err
+			}
+			sol, ok, err := partition.Solve(in)
+			if err != nil {
+				return RowOut{}, fmt.Errorf("solving planted instance: %w", err)
+			}
+			if !ok {
+				return RowOut{}, fmt.Errorf("planted yes-instance (m=%d, T=%d) decided unsolvable", tr.groups, tr.target)
+			}
+			ri, err := core.BuildReduction(in)
+			if err != nil {
+				return RowOut{}, err
+			}
+			g, err := ri.GroupingFromPartition(sol)
+			if err != nil {
+				return RowOut{}, err
+			}
+			return RowOut{Cells: []result.Cell{
+				result.Int(in.Groups()), result.Int(in.Target),
+				result.Float(ri.Bound), result.Float(g.Expected), result.Sci(ri.GapToBound(g)),
+			}}, nil
+		})
 	}
-	for _, tr := range []trial{{"yes", 3, 120}, {"yes", 5, 300}, {"yes", 7, 420}} {
-		in, err := partition.GenerateYes(tr.groups, tr.target, seed)
-		if err != nil {
-			return nil, err
-		}
-		sol, ok, err := partition.Solve(in)
-		if err != nil || !ok {
-			return nil, fmt.Errorf("planted instance unsolvable: %v", err)
-		}
-		ri, err := core.BuildReduction(in)
-		if err != nil {
-			return nil, err
-		}
-		g, err := ri.GroupingFromPartition(sol)
-		if err != nil {
-			return nil, err
-		}
-		fwd.AddRow(fmt.Sprintf("%d", in.Groups()), fmt.Sprintf("%d", in.Target),
-			fm(ri.Bound), fm(g.Expected), fe(ri.GapToBound(g)))
-	}
-	fwd.Notes = append(fwd.Notes, "witness schedules meet the bound K exactly (machine precision)")
 
-	return []*Table{t, fwd}, nil
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		allAgree := true
+		for j, job := range p.Jobs {
+			if job.Table == t {
+				allAgree = allAgree && outs[j].Value.(bool)
+			}
+		}
+		tables[t].AddNote("pass: scheduling decision ≡ 3-PARTITION decision on every instance → %s", yn(allAgree))
+		tables[t].AddNote("yes-instance gaps are 0 to machine precision; no-instance gaps are strictly positive")
+		tables[fwd].AddNote("witness schedules meet the bound K exactly (machine precision)")
+		return nil
+	}
+	return p, nil
 }

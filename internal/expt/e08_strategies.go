@@ -6,147 +6,172 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/expectation"
+	"repro/internal/expt/result"
 	"repro/internal/rng"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E8",
 		Title: "Value of optimal placement: DP vs always/never/periodic baselines",
 		Claim: "the DP dominates every baseline; crossovers between always- and never-checkpoint shift with λ and C (the trade-off of Section 2)",
-		Run:   runE8,
-	})
+	}, planE8)
 }
 
-func runE8(cfg Config) ([]*Table, error) {
-	seed := rng.New(cfg.Seed + 8)
+func planE8(cfg Config) (*Plan, error) {
 	const n = 50
+	// The λ-sweep rows share one random chain; build it at plan time from
+	// the setup stream so every row job sees the same graph.
+	g, err := dag.Chain(n, dag.DefaultWeights(), SetupStream(cfg, "E8"))
+	if err != nil {
+		return nil, err
+	}
 
-	sweep := &Table{
+	p := &Plan{}
+	sweep := p.AddTable(&result.Table{
 		ID:      "E8",
 		Title:   fmt.Sprintf("λ sweep on a random chain (n=%d, w∈[1,10], C∈[0.05,0.5])", n),
 		Columns: []string{"lambda", "E_dp", "E_always", "E_never", "E_daly", "always/dp", "never/dp", "daly/dp", "ckpts_dp"},
+	})
+	type sweepOut struct {
+		dominates bool
+		alwaysWin bool
 	}
-	g, err := dag.Chain(n, dag.DefaultWeights(), seed.Split())
-	if err != nil {
-		return nil, err
-	}
-	dpDominates := true
-	var sawAlwaysWin, sawNeverWin bool
 	for _, lambda := range []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1} {
-		m, err := expectation.NewModel(lambda, 1)
-		if err != nil {
-			return nil, err
-		}
-		cp, _, err := core.NewChainProblem(g, m, 0)
-		if err != nil {
-			return nil, err
-		}
-		dp, err := core.SolveChainDP(cp)
-		if err != nil {
-			return nil, err
-		}
-		always, err := core.AlwaysCheckpoint(cp)
-		if err != nil {
-			return nil, err
-		}
-		never, err := core.NeverCheckpoint(cp)
-		if err != nil {
-			return nil, err
-		}
-		meanC := 0.0
-		for _, c := range cp.Ckpt {
-			meanC += c
-		}
-		meanC /= float64(len(cp.Ckpt))
-		daly, err := core.PeriodicCheckpoint(cp, expectation.DalyPeriod(meanC, lambda))
-		if err != nil {
-			return nil, err
-		}
-		const eps = 1e-9
-		if dp.Expected > always.Expected+eps || dp.Expected > never.Expected+eps || dp.Expected > daly.Expected+eps {
-			dpDominates = false
-		}
-		if always.Expected < never.Expected {
-			sawAlwaysWin = true
-		} else {
-			sawNeverWin = true
-		}
-		sweep.AddRow(fm(lambda), fm(dp.Expected), fm(always.Expected), fm(never.Expected), fm(daly.Expected),
-			fmt.Sprintf("%.3f", always.Expected/dp.Expected),
-			fmt.Sprintf("%.3f", never.Expected/dp.Expected),
-			fmt.Sprintf("%.3f", daly.Expected/dp.Expected),
-			fmt.Sprintf("%d", len(dp.Positions())))
+		lambda := lambda
+		p.Job(sweep, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(lambda, 1)
+			if err != nil {
+				return RowOut{}, err
+			}
+			cp, _, err := core.NewChainProblem(g, m, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			dp, err := core.SolveChainDP(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			always, err := core.AlwaysCheckpoint(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			never, err := core.NeverCheckpoint(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			meanC := 0.0
+			for _, c := range cp.Ckpt {
+				meanC += c
+			}
+			meanC /= float64(len(cp.Ckpt))
+			daly, err := core.PeriodicCheckpoint(cp, expectation.DalyPeriod(meanC, lambda))
+			if err != nil {
+				return RowOut{}, err
+			}
+			const eps = 1e-9
+			dominates := !(dp.Expected > always.Expected+eps || dp.Expected > never.Expected+eps || dp.Expected > daly.Expected+eps)
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(lambda), result.Float(dp.Expected), result.Float(always.Expected),
+					result.Float(never.Expected), result.Float(daly.Expected),
+					result.Fixed(always.Expected/dp.Expected, 3),
+					result.Fixed(never.Expected/dp.Expected, 3),
+					result.Fixed(daly.Expected/dp.Expected, 3),
+					result.Int(len(dp.Positions())),
+				},
+				Value: sweepOut{dominates: dominates, alwaysWin: always.Expected < never.Expected},
+			}, nil
+		})
 	}
-	sweep.Notes = append(sweep.Notes,
-		fmt.Sprintf("DP ≤ every baseline at every λ → %s", fb(dpDominates)),
-		fmt.Sprintf("crossover observed: never-checkpoint wins at small λ (%s), always-checkpoint wins at large λ (%s)",
-			fb(sawNeverWin), fb(sawAlwaysWin)),
-	)
 
 	// Heterogeneous checkpoint costs: where the DP's advantage over the
 	// best uniform policy becomes material.
-	het := &Table{
+	het := p.AddTable(&result.Table{
 		ID:      "E8",
 		Title:   "heterogeneous checkpoint costs (a few cheap checkpoints among expensive ones, λ=0.02)",
 		Columns: []string{"cheap_every", "E_dp", "E_always", "E_never", "E_daly", "best_baseline/dp"},
-	}
-	m, err := expectation.NewModel(0.02, 1)
-	if err != nil {
-		return nil, err
-	}
-	gains := true
+	})
 	for _, period := range []int{5, 10, 25} {
-		gh, err := dag.Chain(n, dag.WeightSpec{
-			MinWeight: 4, MaxWeight: 6,
-			MinCheckpoint: 8, MaxCheckpoint: 12, RecoveryFactor: 1,
-		}, seed.Split())
-		if err != nil {
-			return nil, err
-		}
-		cp, order, err := core.NewChainProblem(gh, m, 0)
-		if err != nil {
-			return nil, err
-		}
-		_ = order
-		for i := 0; i < n; i += period {
-			cp.Ckpt[i] = 0.05
-			cp.Rec[i] = 0.05
-		}
-		dp, err := core.SolveChainDP(cp)
-		if err != nil {
-			return nil, err
-		}
-		always, err := core.AlwaysCheckpoint(cp)
-		if err != nil {
-			return nil, err
-		}
-		never, err := core.NeverCheckpoint(cp)
-		if err != nil {
-			return nil, err
-		}
-		daly, err := core.PeriodicCheckpoint(cp, expectation.DalyPeriod(10, 0.02))
-		if err != nil {
-			return nil, err
-		}
-		best := always.Expected
-		if never.Expected < best {
-			best = never.Expected
-		}
-		if daly.Expected < best {
-			best = daly.Expected
-		}
-		ratio := best / dp.Expected
-		if ratio < 1 {
-			gains = false
-		}
-		het.AddRow(fmt.Sprintf("%d", period), fm(dp.Expected), fm(always.Expected),
-			fm(never.Expected), fm(daly.Expected), fmt.Sprintf("%.3f", ratio))
+		period := period
+		p.Job(het, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(0.02, 1)
+			if err != nil {
+				return RowOut{}, err
+			}
+			gh, err := dag.Chain(n, dag.WeightSpec{
+				MinWeight: 4, MaxWeight: 6,
+				MinCheckpoint: 8, MaxCheckpoint: 12, RecoveryFactor: 1,
+			}, s.Split())
+			if err != nil {
+				return RowOut{}, err
+			}
+			cp, _, err := core.NewChainProblem(gh, m, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			for i := 0; i < n; i += period {
+				cp.Ckpt[i] = 0.05
+				cp.Rec[i] = 0.05
+			}
+			dp, err := core.SolveChainDP(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			always, err := core.AlwaysCheckpoint(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			never, err := core.NeverCheckpoint(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			daly, err := core.PeriodicCheckpoint(cp, expectation.DalyPeriod(10, 0.02))
+			if err != nil {
+				return RowOut{}, err
+			}
+			best := always.Expected
+			if never.Expected < best {
+				best = never.Expected
+			}
+			if daly.Expected < best {
+				best = daly.Expected
+			}
+			ratio := best / dp.Expected
+			return RowOut{
+				Cells: []result.Cell{
+					result.Int(period), result.Float(dp.Expected), result.Float(always.Expected),
+					result.Float(never.Expected), result.Float(daly.Expected), result.Fixed(ratio, 3),
+				},
+				Value: ratio >= 1,
+			}, nil
+		})
 	}
-	het.Notes = append(het.Notes,
-		fmt.Sprintf("cost-aware DP beats the best cost-blind baseline on every instance → %s", fb(gains)),
-		"the DP concentrates checkpoints on the cheap positions — the structure uniform policies cannot express",
-	)
 
-	return []*Table{sweep, het}, nil
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		dpDominates := true
+		var sawAlwaysWin, sawNeverWin bool
+		gains := true
+		for j, job := range p.Jobs {
+			switch job.Table {
+			case sweep:
+				v := outs[j].Value.(sweepOut)
+				dpDominates = dpDominates && v.dominates
+				if v.alwaysWin {
+					sawAlwaysWin = true
+				} else {
+					sawNeverWin = true
+				}
+			case het:
+				gains = gains && outs[j].Value.(bool)
+			}
+		}
+		tables[sweep].AddNote("DP ≤ every baseline at every λ → %s", yn(dpDominates))
+		tables[sweep].AddNote("crossover observed: never-checkpoint wins at small λ (%s), always-checkpoint wins at large λ (%s)",
+			yn(sawNeverWin), yn(sawAlwaysWin))
+		tables[het].AddNote("cost-aware DP beats the best cost-blind baseline on every instance → %s", yn(gains))
+		tables[het].AddNote("the DP concentrates checkpoints on the cheap positions — the structure uniform policies cannot express")
+		return nil
+	}
+	return p, nil
 }

@@ -3,63 +3,98 @@ package expt
 import (
 	"fmt"
 
+	"repro/internal/expt/result"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E10",
 		Title: "Cascading downtimes: D(p) vs the lower bound D",
 		Claim: "D(p) ≥ D(1) = D always; the lower bound is 'very accurate in most practical cases' (remark after Eq. 6)",
-		Run:   runE10,
-	})
+	}, planE10)
 }
 
-func runE10(cfg Config) ([]*Table, error) {
+func planE10(cfg Config) (*Plan, error) {
 	runs := cfg.Runs(40_000, 2_000)
-	seed := rng.New(cfg.Seed + 10)
 	const d = 1.0
-	t := &Table{
+	p := &Plan{}
+	t := p.AddTable(&result.Table{
 		ID:      "E10",
 		Title:   fmt.Sprintf("simulated platform downtime per failure (D=%g, %d cascades/cell)", d, runs),
 		Columns: []string{"p", "lambda_proc", "p·λproc·D", "E[D(p)]", "E[D(p)]/D", "bound_tight(<1%)"},
+	})
+	type verdict struct {
+		skipped   bool
+		lower     bool
+		practical bool // practically-loaded cell failed the 1% bound
 	}
-	allLower := true
-	practicalTight := true
-	skipped := 0
-	for _, p := range []int{1, 16, 256, 4096, 65536} {
+	for _, pp := range []int{1, 16, 256, 4096, 65536} {
 		for _, lp := range []float64{1e-7, 1e-5, 1e-3} {
-			if float64(p)*lp*d >= 0.9 {
+			pp, lp := pp, lp
+			load := float64(pp) * lp * d
+			if load >= 0.9 {
 				// Supercritical: new failures arrive faster than repairs
 				// drain, the cascade (essentially) never ends and E[D(p)]
 				// diverges. Recorded as skipped rather than simulated.
-				skipped++
-				t.AddRow(fmt.Sprintf("%d", p), fe(lp), fe(float64(p)*lp*d),
-					"diverges", "inf", "n/a (supercritical)")
+				p.Job(t, func(s *rng.Stream) (RowOut, error) {
+					return RowOut{
+						Cells: []result.Cell{
+							result.Int(pp), result.Sci(lp), result.Sci(load),
+							result.Str("diverges"), result.Str("inf"), result.Str("n/a (supercritical)"),
+						},
+						Meta:  map[string]string{"regime": "supercritical"},
+						Value: verdict{skipped: true, lower: true},
+					}, nil
+				})
 				continue
 			}
-			est, err := sim.CascadeDowntime(p, lp, d, runs, seed.Split())
-			if err != nil {
-				return nil, err
-			}
-			ratio := est.Mean() / d
-			if ratio < 1-1e-9 {
-				allLower = false
-			}
-			load := float64(p) * lp * d
-			tight := ratio < 1.01
-			if load <= 1e-2 && !tight {
-				practicalTight = false
-			}
-			t.AddRow(fmt.Sprintf("%d", p), fe(lp), fe(load),
-				fm(est.Mean()), fmt.Sprintf("%.4f", ratio), fb(tight))
+			p.Job(t, func(s *rng.Stream) (RowOut, error) {
+				est, err := sim.CascadeDowntime(pp, lp, d, runs, s)
+				if err != nil {
+					return RowOut{}, err
+				}
+				ratio := est.Mean() / d
+				tight := ratio < 1.01
+				regime := "subcritical"
+				if load <= 1e-2 {
+					regime = "practical"
+				}
+				return RowOut{
+					Cells: []result.Cell{
+						result.Int(pp), result.Sci(lp), result.Sci(load),
+						result.Float(est.Mean()), result.Fixed(ratio, 4), result.Bool(tight),
+					},
+					Meta: map[string]string{"regime": regime},
+					Value: verdict{
+						lower:     ratio >= 1-1e-9,
+						practical: load <= 1e-2 && !tight,
+					},
+				}, nil
+			})
 		}
 	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("D(p) ≥ D on every simulated cell → %s", fb(allLower)),
-		fmt.Sprintf("in practical regimes (p·λproc·D ≤ 1e-2) the lower bound is within 1%% → %s", fb(practicalTight)),
-		fmt.Sprintf("%d supercritical cells (load ≥ 0.9) marked as diverging instead of simulated: there E[D(p)] has no finite value, the extreme case of the paper's cascading-downtime caveat", skipped),
-	)
-	return []*Table{t}, nil
+
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		allLower := true
+		practicalTight := true
+		skipped := 0
+		for _, o := range outs {
+			v := o.Value.(verdict)
+			if v.skipped {
+				skipped++
+				continue
+			}
+			allLower = allLower && v.lower
+			if v.practical {
+				practicalTight = false
+			}
+		}
+		tables[t].AddNote("D(p) ≥ D on every simulated cell → %s", yn(allLower))
+		tables[t].AddNote("in practical regimes (p·λproc·D ≤ 1e-2) the lower bound is within 1%% → %s", yn(practicalTight))
+		tables[t].AddNote("%d supercritical cells (load ≥ 0.9) marked as diverging instead of simulated: there E[D(p)] has no finite value, the extreme case of the paper's cascading-downtime caveat", skipped)
+		return nil
+	}
+	return p, nil
 }

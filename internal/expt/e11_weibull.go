@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/expectation"
+	"repro/internal/expt/result"
 	"repro/internal/failure"
 	"repro/internal/heuristic"
 	"repro/internal/rng"
@@ -13,12 +14,11 @@ import (
 )
 
 func init() {
-	register(Experiment{
+	register(Info{
 		ID:    "E11",
 		Title: "Extension: general failure laws (Weibull)",
 		Claim: "with non-memoryless failures no closed form exists; maximize-expected-work placements (Bouguerra–Trystram–Wagner style) compete with / beat exponential-fit DP placements (Section 6, third extension)",
-		Run:   runE11,
-	})
+	}, planE11)
 }
 
 // weibullScaleForMean returns the scale η giving a Weibull(k, η) mean mu.
@@ -26,9 +26,8 @@ func weibullScaleForMean(shape, mu float64) float64 {
 	return mu / math.Gamma(1+1/shape)
 }
 
-func runE11(cfg Config) ([]*Table, error) {
+func planE11(cfg Config) (*Plan, error) {
 	runs := cfg.Runs(30_000, 2_000)
-	seed := rng.New(cfg.Seed + 11)
 	const (
 		n     = 30
 		w     = 3.0 // uniform task weight
@@ -43,134 +42,161 @@ func runE11(cfg Config) ([]*Table, error) {
 		costs[i] = c
 	}
 
-	t := &Table{
+	p := &Plan{}
+	t := p.AddTable(&result.Table{
 		ID:    "E11",
 		Title: fmt.Sprintf("simulated makespans under Weibull failures (chain n=%d, MTBF=%g, %d runs)", n, mtbf, runs),
 		Columns: []string{
 			"shape k", "E_expDP", "E_weibullDP", "E_always", "E_never", "weibull/exp", "ckpts_exp", "ckpts_weib",
 		},
+	})
+	type shapeOut struct {
+		shape, ratio float64
 	}
-	decreasingHazardWins := true
+	// One row job per shape: each runs four Monte-Carlo campaigns, so the
+	// shapes are the natural parallel grain of this experiment.
 	for _, shape := range []float64{0.5, 0.7, 0.9, 1.0, 1.5} {
-		weib, err := failure.NewWeibull(shape, weibullScaleForMean(shape, mtbf))
-		if err != nil {
-			return nil, err
-		}
-		// (a) Exponential-fit placement: same mean, memoryless model.
-		mFit, err := expectation.NewModel(1/mtbf, dtime)
-		if err != nil {
-			return nil, err
-		}
-		cp := &core.ChainProblem{
-			Weights: weights, Ckpt: costs, Rec: costs, Model: mFit,
-		}
-		expDP, err := core.SolveChainDP(cp)
-		if err != nil {
-			return nil, err
-		}
-		// (b) Weibull-aware max-saved-work placement.
-		surv, err := heuristic.FreshPlatformSurvival(weib, 1)
-		if err != nil {
-			return nil, err
-		}
-		weibDP, err := heuristic.MaxSavedWorkDP(weights, c, surv)
-		if err != nil {
-			return nil, err
-		}
-		// (c), (d) baselines.
-		always := make([]bool, n)
-		never := make([]bool, n)
-		for i := range always {
-			always[i] = true
-		}
-		never[n-1] = true
+		shape := shape
+		p.Job(t, func(s *rng.Stream) (RowOut, error) {
+			weib, err := failure.NewWeibull(shape, weibullScaleForMean(shape, mtbf))
+			if err != nil {
+				return RowOut{}, err
+			}
+			// (a) Exponential-fit placement: same mean, memoryless model.
+			mFit, err := expectation.NewModel(1/mtbf, dtime)
+			if err != nil {
+				return RowOut{}, err
+			}
+			cp := &core.ChainProblem{
+				Weights: weights, Ckpt: costs, Rec: costs, Model: mFit,
+			}
+			expDP, err := core.SolveChainDP(cp)
+			if err != nil {
+				return RowOut{}, err
+			}
+			// (b) Weibull-aware max-saved-work placement.
+			surv, err := heuristic.FreshPlatformSurvival(weib, 1)
+			if err != nil {
+				return RowOut{}, err
+			}
+			weibDP, err := heuristic.MaxSavedWorkDP(weights, c, surv)
+			if err != nil {
+				return RowOut{}, err
+			}
+			// (c), (d) baselines.
+			always := make([]bool, n)
+			never := make([]bool, n)
+			for i := range always {
+				always[i] = true
+			}
+			never[n-1] = true
 
-		factory := sim.SuperposedFactory(weib, 1, failure.RejuvenateFailedOnly)
-		simulate := func(ck []bool) (float64, error) {
-			segs, err := cp.Segments(ck)
+			factory := sim.SuperposedFactory(weib, 1, failure.RejuvenateFailedOnly)
+			simulate := func(ck []bool) (float64, error) {
+				segs, err := cp.Segments(ck)
+				if err != nil {
+					return 0, err
+				}
+				res, err := sim.MonteCarlo(segs, factory, sim.Options{Downtime: dtime}, runs, s.Split())
+				if err != nil {
+					return 0, err
+				}
+				return res.Makespan.Mean(), nil
+			}
+			eExp, err := simulate(expDP.CheckpointAfter)
 			if err != nil {
-				return 0, err
+				return RowOut{}, err
 			}
-			res, err := sim.MonteCarlo(segs, factory, sim.Options{Downtime: dtime}, runs, seed.Split())
+			eWeib, err := simulate(weibDP.CheckpointAfter)
 			if err != nil {
-				return 0, err
+				return RowOut{}, err
 			}
-			return res.Makespan.Mean(), nil
-		}
-		eExp, err := simulate(expDP.CheckpointAfter)
-		if err != nil {
-			return nil, err
-		}
-		eWeib, err := simulate(weibDP.CheckpointAfter)
-		if err != nil {
-			return nil, err
-		}
-		eAlways, err := simulate(always)
-		if err != nil {
-			return nil, err
-		}
-		eNever, err := simulate(never)
-		if err != nil {
-			return nil, err
-		}
-		ratio := eWeib / eExp
-		if shape < 1 && ratio > 1.05 {
-			decreasingHazardWins = false
-		}
-		nw := 0
-		for _, ck := range weibDP.CheckpointAfter {
-			if ck {
-				nw++
+			eAlways, err := simulate(always)
+			if err != nil {
+				return RowOut{}, err
 			}
-		}
-		t.AddRow(fm(shape), fm(eExp), fm(eWeib), fm(eAlways), fm(eNever),
-			fmt.Sprintf("%.3f", ratio),
-			fmt.Sprintf("%d", len(expDP.Positions())), fmt.Sprintf("%d", nw))
+			eNever, err := simulate(never)
+			if err != nil {
+				return RowOut{}, err
+			}
+			ratio := eWeib / eExp
+			nw := 0
+			for _, ck := range weibDP.CheckpointAfter {
+				if ck {
+					nw++
+				}
+			}
+			return RowOut{
+				Cells: []result.Cell{
+					result.Float(shape), result.Float(eExp), result.Float(eWeib), result.Float(eAlways), result.Float(eNever),
+					result.Fixed(ratio, 3),
+					result.Int(len(expDP.Positions())), result.Int(nw),
+				},
+				Value: shapeOut{shape: shape, ratio: ratio},
+			}, nil
+		})
 	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("for decreasing hazard (k<1) the Weibull-aware placement stays within 5%% of the exponential-fit DP → %s", fb(decreasingHazardWins)),
-		"the two objectives (expected makespan vs expected saved work) are close but distinct, so neither placement dominates — only heuristics exist for general laws, as Section 6 states",
-		"the real catastrophe is never-checkpointing: 2x-80x worse across shapes",
-	)
 
 	// Age-awareness: with decreasing hazard, an aged processor is safer,
 	// so the optimal placement checkpoints less.
-	age := &Table{
+	age := p.AddTable(&result.Table{
 		ID:      "E11",
 		Title:   "history dependence (k=0.6): checkpoints chosen vs processor age",
 		Columns: []string{"age", "ckpts", "E[saved work]"},
-	}
-	weib, err := failure.NewWeibull(0.6, weibullScaleForMean(0.6, mtbf))
-	if err != nil {
-		return nil, err
-	}
-	prevCk := n + 1
-	monotone := true
+	})
 	for _, a := range []float64{0, 10, 50, 200} {
-		surv, err := heuristic.AgedPlatformSurvival(weib, []float64{a})
-		if err != nil {
-			return nil, err
-		}
-		p, err := heuristic.MaxSavedWorkDP(weights, c, surv)
-		if err != nil {
-			return nil, err
-		}
-		nc := 0
-		for _, ck := range p.CheckpointAfter {
-			if ck {
-				nc++
+		a := a
+		p.Job(age, func(s *rng.Stream) (RowOut, error) {
+			weib, err := failure.NewWeibull(0.6, weibullScaleForMean(0.6, mtbf))
+			if err != nil {
+				return RowOut{}, err
+			}
+			surv, err := heuristic.AgedPlatformSurvival(weib, []float64{a})
+			if err != nil {
+				return RowOut{}, err
+			}
+			placement, err := heuristic.MaxSavedWorkDP(weights, c, surv)
+			if err != nil {
+				return RowOut{}, err
+			}
+			nc := 0
+			for _, ck := range placement.CheckpointAfter {
+				if ck {
+					nc++
+				}
+			}
+			return RowOut{
+				Cells: []result.Cell{result.Float(a), result.Int(nc), result.Float(placement.SavedWork)},
+				Value: nc,
+			}, nil
+		})
+	}
+
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		decreasingHazardWins := true
+		prevCk := n + 1
+		monotone := true
+		for j, job := range p.Jobs {
+			switch job.Table {
+			case t:
+				v := outs[j].Value.(shapeOut)
+				if v.shape < 1 && v.ratio > 1.05 {
+					decreasingHazardWins = false
+				}
+			case age:
+				nc := outs[j].Value.(int)
+				if nc > prevCk {
+					monotone = false
+				}
+				prevCk = nc
 			}
 		}
-		if nc > prevCk {
-			monotone = false
-		}
-		prevCk = nc
-		age.AddRow(fm(a), fmt.Sprintf("%d", nc), fm(p.SavedWork))
+		tables[t].AddNote("for decreasing hazard (k<1) the Weibull-aware placement stays within 5%% of the exponential-fit DP → %s", yn(decreasingHazardWins))
+		tables[t].AddNote("the two objectives (expected makespan vs expected saved work) are close but distinct, so neither placement dominates — only heuristics exist for general laws, as Section 6 states")
+		tables[t].AddNote("the real catastrophe is never-checkpointing: 2x-80x worse across shapes")
+		tables[age].AddNote("older platform (safer under k<1) → fewer checkpoints, monotonically → %s", yn(monotone))
+		tables[age].AddNote("this is exactly why the optimal policy is history-dependent for general laws — the paper's second difficulty")
+		return nil
 	}
-	age.Notes = append(age.Notes,
-		fmt.Sprintf("older platform (safer under k<1) → fewer checkpoints, monotonically → %s", fb(monotone)),
-		"this is exactly why the optimal policy is history-dependent for general laws — the paper's second difficulty",
-	)
-
-	return []*Table{t, age}, nil
+	return p, nil
 }

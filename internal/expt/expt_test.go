@@ -1,141 +1,158 @@
-package expt
+package expt_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/expt/render"
+	"repro/internal/expt/result"
+	"repro/internal/rng"
 )
 
-func TestRegistryComplete(t *testing.T) {
-	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
-	}
-	for i, e := range all {
-		want := i + 1
-		var got int
-		if _, err := fmtSscanfID(e.ID, &got); err != nil || got != want {
-			t.Errorf("experiment %d has ID %s", i, e.ID)
-		}
-		if e.Title == "" || e.Claim == "" || e.Run == nil {
-			t.Errorf("%s is incomplete", e.ID)
-		}
-	}
-}
-
-func fmtSscanfID(id string, out *int) (int, error) {
-	var n int
-	k, err := sscanf(id, &n)
-	*out = n
-	return k, err
-}
-
-func sscanf(id string, n *int) (int, error) {
+func parseID(id string) (int, bool) {
 	if !strings.HasPrefix(id, "E") {
-		return 0, errBadID
+		return 0, false
 	}
 	v := 0
 	for _, r := range id[1:] {
 		if r < '0' || r > '9' {
-			return 0, errBadID
+			return 0, false
 		}
 		v = v*10 + int(r-'0')
 	}
-	*n = v
-	return 1, nil
+	return v, true
 }
 
-var errBadID = &badIDError{}
-
-type badIDError struct{}
-
-func (*badIDError) Error() string { return "bad experiment ID" }
+func TestRegistryComplete(t *testing.T) {
+	all := expt.All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	for i, s := range all {
+		info := s.Info()
+		got, ok := parseID(info.ID)
+		if !ok || got != i+1 {
+			t.Errorf("experiment %d has ID %s", i, info.ID)
+		}
+		if info.Title == "" || info.Claim == "" {
+			t.Errorf("%s is incomplete", info.ID)
+		}
+	}
+}
 
 func TestByID(t *testing.T) {
-	if _, ok := ByID("E1"); !ok {
+	if _, ok := expt.ByID("E1"); !ok {
 		t.Error("E1 missing")
 	}
-	if _, ok := ByID("E99"); ok {
+	if _, ok := expt.ByID("E99"); ok {
 		t.Error("E99 should not exist")
 	}
 }
 
-func TestTableRender(t *testing.T) {
-	tb := &Table{
-		ID: "T", Title: "demo",
-		Columns: []string{"a", "bbbb"},
-		Notes:   []string{"a note"},
-	}
-	tb.AddRow("1", "2")
-	tb.AddRow("333", "4")
-	var buf bytes.Buffer
-	if err := tb.Render(&buf); err != nil {
-		t.Fatal(err)
-	}
-	out := buf.String()
-	for _, want := range []string{"== T: demo ==", "a    bbbb", "333  4", "note: a note"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("render missing %q:\n%s", want, out)
-		}
-	}
-}
-
-func TestTableCSV(t *testing.T) {
-	tb := &Table{ID: "T", Title: "demo", Columns: []string{"x", "y"}}
-	tb.AddRow("1", "has,comma")
-	tb.AddRow(`q"uote`, "2")
-	var buf bytes.Buffer
-	if err := tb.CSV(&buf); err != nil {
-		t.Fatal(err)
-	}
-	out := buf.String()
-	if !strings.Contains(out, `"has,comma"`) {
-		t.Errorf("comma cell not quoted:\n%s", out)
-	}
-	if !strings.Contains(out, `"q""uote"`) {
-		t.Errorf("quote cell not escaped:\n%s", out)
+func TestIDs(t *testing.T) {
+	ids := expt.IDs()
+	if len(ids) != 12 || ids[0] != "E1" || ids[11] != "E12" {
+		t.Errorf("IDs() = %v", ids)
 	}
 }
 
 func TestConfigRuns(t *testing.T) {
-	full := Config{}
-	quick := Config{Quick: true}
+	full := expt.Config{}
+	quick := expt.Config{Quick: true}
 	if full.Runs(100, 10) != 100 || quick.Runs(100, 10) != 10 {
 		t.Error("Runs selection wrong")
 	}
 }
 
-// TestEveryExperimentRunsQuick executes the entire suite in quick mode:
-// every experiment must complete without error and produce at least one
-// table with consistent shape, and no pass/fail note may report "NO".
+// TestJobStreamKeying pins the stream-derivation contract: job streams
+// depend only on (seed, ID, index), differ across each of those axes,
+// and are disjoint from the setup stream.
+func TestJobStreamKeying(t *testing.T) {
+	cfg := expt.Config{Seed: 7}
+	a := expt.JobStream(cfg, "E1", 0)
+	b := expt.JobStream(cfg, "E1", 0)
+	if a.Uint64() != b.Uint64() {
+		t.Error("same (seed, id, job) produced different streams")
+	}
+	distinct := map[uint64]string{}
+	add := func(name string, s *rng.Stream) {
+		v := s.Uint64()
+		if prev, dup := distinct[v]; dup {
+			t.Errorf("streams %s and %s collide on first draw", prev, name)
+		}
+		distinct[v] = name
+	}
+	add("E1/0", expt.JobStream(cfg, "E1", 0))
+	add("E1/1", expt.JobStream(cfg, "E1", 1))
+	add("E2/0", expt.JobStream(cfg, "E2", 0))
+	add("E1/0 seed 8", expt.JobStream(expt.Config{Seed: 8}, "E1", 0))
+	add("E1 setup", expt.SetupStream(cfg, "E1"))
+}
+
+// TestAssembleValidation covers the one-job-one-row invariants.
+func TestAssembleValidation(t *testing.T) {
+	mkPlan := func() *expt.Plan {
+		p := &expt.Plan{}
+		tab := p.AddTable(&result.Table{ID: "T", Title: "t", Columns: []string{"a", "b"}})
+		p.Job(tab, func(s *rng.Stream) (expt.RowOut, error) {
+			return expt.RowOut{Cells: []result.Cell{result.Int(1), result.Int(2)}}, nil
+		})
+		return p
+	}
+
+	p := mkPlan()
+	if _, err := p.Assemble(nil); err == nil {
+		t.Error("output-count mismatch not rejected")
+	}
+	p = mkPlan()
+	if _, err := p.Assemble([]expt.RowOut{{Cells: []result.Cell{result.Int(1)}}}); err == nil {
+		t.Error("row-width mismatch not rejected")
+	}
+	p = mkPlan()
+	tables, err := p.Assemble([]expt.RowOut{{Cells: []result.Cell{result.Int(1), result.Int(2)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 1 {
+		t.Fatalf("unexpected assembly: %+v", tables)
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the entire suite in quick mode
+// through the serial reference executor: every experiment must complete
+// without error and produce at least one table with consistent shape,
+// and no pass/fail note may report "NO".
 func TestEveryExperimentRunsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite run skipped with -short")
 	}
-	cfg := Config{Seed: 7, Quick: true}
-	for _, e := range All() {
-		e := e
-		t.Run(e.ID, func(t *testing.T) {
+	cfg := expt.Config{Seed: 7, Quick: true}
+	for _, s := range expt.All() {
+		s := s
+		t.Run(s.Info().ID, func(t *testing.T) {
 			t.Parallel()
-			tables, err := e.Run(cfg)
+			id := s.Info().ID
+			tables, err := expt.Execute(cfg, s)
 			if err != nil {
-				t.Fatalf("%s failed: %v", e.ID, err)
+				t.Fatalf("%s failed: %v", id, err)
 			}
 			if len(tables) == 0 {
-				t.Fatalf("%s produced no tables", e.ID)
+				t.Fatalf("%s produced no tables", id)
 			}
 			for _, tb := range tables {
 				if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
-					t.Errorf("%s table %q is empty", e.ID, tb.Title)
+					t.Errorf("%s table %q is empty", id, tb.Title)
 				}
 				for _, row := range tb.Rows {
-					if len(row) != len(tb.Columns) {
-						t.Errorf("%s table %q: row width %d ≠ %d columns", e.ID, tb.Title, len(row), len(tb.Columns))
+					if len(row.Cells) != len(tb.Columns) {
+						t.Errorf("%s table %q: row width %d ≠ %d columns", id, tb.Title, len(row.Cells), len(tb.Columns))
 					}
 				}
 				for _, n := range tb.Notes {
-					if strings.Contains(n, "→ NO") {
-						t.Errorf("%s table %q reports failed criterion: %s", e.ID, tb.Title, n)
+					if strings.Contains(n.Text, "→ NO") {
+						t.Errorf("%s table %q reports failed criterion: %s", id, tb.Title, n.Text)
 					}
 				}
 			}
@@ -143,23 +160,22 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 	}
 }
 
-func TestRunAllRenders(t *testing.T) {
+func TestExecuteRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped with -short")
 	}
 	var buf bytes.Buffer
-	// Run only E4 (pure analytical, fast) through the full renderer by
-	// using a registry subset via ByID.
-	e, ok := ByID("E4")
+	// Run only E4 (pure analytical, fast) through the full renderer.
+	e, ok := expt.ByID("E4")
 	if !ok {
 		t.Fatal("E4 missing")
 	}
-	tables, err := e.Run(Config{Seed: 1, Quick: true})
+	tables, err := expt.Execute(expt.Config{Seed: 1, Quick: true}, e)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, tb := range tables {
-		if err := tb.Render(&buf); err != nil {
+		if err := render.Text(&buf, tb); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,182 @@
+// Package render turns typed experiment results (internal/expt/result)
+// into output formats: aligned plain text, CSV, and JSON. Rendering is a
+// separate step from running experiments so the same typed tables can be
+// printed, diffed, or machine-consumed without re-running anything.
+//
+// Fingerprint is the determinism probe: it renders tables with volatile
+// (wall-clock) content masked, so two runs of the same seed — serial or
+// parallel, any worker count — must produce identical fingerprints (see
+// DESIGN.md's determinism contract).
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/expt/result"
+)
+
+// Text writes the table as aligned plain text, the chkptbench default.
+func Text(w io.Writer, t *result.Table) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cells := func(r result.Row) []string {
+		out := make([]string, len(r.Cells))
+		for i, c := range r.Cells {
+			out[i] = c.String()
+		}
+		return out
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range cells(row) {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cs []string) string {
+		var b strings.Builder
+		for i, cell := range cs {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cs)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(cells(row))); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n.Text); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (quoting cells that
+// contain commas, quotes, or newlines).
+func CSV(w io.Writer, t *result.Table) error {
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cs []string) error {
+		qs := make([]string, len(cs))
+		for i, c := range cs {
+			qs[i] = quote(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(qs, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cs := make([]string, len(row.Cells))
+		for i, c := range row.Cells {
+			cs[i] = c.String()
+		}
+		if err := writeRow(cs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Suite is one experiment's identity plus its rendered-ready tables; the
+// JSON format is a list of these.
+type Suite struct {
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Claim  string          `json:"claim"`
+	Tables []*result.Table `json:"tables"`
+}
+
+// JSON writes the suites as an indented JSON array.
+func JSON(w io.Writer, suites []Suite) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(suites)
+}
+
+// masked is the placeholder printed for volatile content in fingerprints.
+const masked = "<volatile>"
+
+// Fingerprint renders the tables as text with every volatile cell and
+// note replaced by a fixed placeholder, then appends each row's
+// metadata in sorted-key order (Text ignores Meta, but the determinism
+// contract covers it — it surfaces in the JSON output). Two runs with
+// the same seed must produce equal fingerprints regardless of worker
+// count; runs whose tables contain no volatile content must in fact be
+// byte-identical in full (tested in internal/expt/engine).
+func Fingerprint(tables []*result.Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		m := &result.Table{ID: t.ID, Title: t.Title, Columns: t.Columns}
+		for _, row := range t.Rows {
+			cs := make([]result.Cell, len(row.Cells))
+			for i, c := range row.Cells {
+				if c.Volatile {
+					cs[i] = result.Str(masked)
+				} else {
+					cs[i] = c
+				}
+			}
+			m.Rows = append(m.Rows, result.Row{Cells: cs})
+		}
+		for _, n := range t.Notes {
+			if n.Volatile {
+				n.Text = masked
+			}
+			m.Notes = append(m.Notes, n)
+		}
+		if err := Text(&b, m); err != nil {
+			// strings.Builder never errors; keep the signature honest.
+			fmt.Fprintf(&b, "render error: %v\n", err)
+		}
+		for i, row := range t.Rows {
+			if len(row.Meta) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(row.Meta))
+			for k := range row.Meta {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "meta[%d]:", i)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, row.Meta[k])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}

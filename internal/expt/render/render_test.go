@@ -1,0 +1,118 @@
+package render
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expt/result"
+)
+
+func TestText(t *testing.T) {
+	tb := &result.Table{
+		ID: "T", Title: "demo",
+		Columns: []string{"a", "bbbb"},
+	}
+	tb.AddRow(result.Int(1), result.Int(2))
+	tb.AddRow(result.Int(333), result.Int(4))
+	tb.AddNote("a note")
+	var buf bytes.Buffer
+	if err := Text(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T: demo ==", "a    bbbb", "333  4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &result.Table{ID: "T", Title: "demo", Columns: []string{"x", "y"}}
+	tb.AddRow(result.Int(1), result.Str("has,comma"))
+	tb.AddRow(result.Str(`q"uote`), result.Int(2))
+	var buf bytes.Buffer
+	if err := CSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"q""uote"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	tb := &result.Table{ID: "E1", Title: "demo", Columns: []string{"x"}}
+	tb.AddRow(result.Float(1.5))
+	var buf bytes.Buffer
+	err := JSON(&buf, []Suite{{ID: "E1", Title: "t", Claim: "c", Tables: []*result.Table{tb}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		ID     string `json:"id"`
+		Claim  string `json:"claim"`
+		Tables []struct {
+			Columns []string `json:"columns"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].ID != "E1" || got[0].Claim != "c" || len(got[0].Tables) != 1 {
+		t.Errorf("unexpected JSON: %s", buf.String())
+	}
+}
+
+func TestFingerprintMasksVolatile(t *testing.T) {
+	mk := func(d time.Duration, stable float64) []*result.Table {
+		tb := &result.Table{ID: "T", Title: "demo", Columns: []string{"time", "value"}}
+		tb.AddRow(result.Dur(d), result.Float(stable))
+		tb.AddVolatileNote("took %s", d)
+		tb.AddNote("stable note")
+		return []*result.Table{tb}
+	}
+	a := Fingerprint(mk(time.Second, 1.5))
+	b := Fingerprint(mk(3*time.Minute, 1.5))
+	if a != b {
+		t.Errorf("fingerprints differ only in volatile content:\n%s\nvs\n%s", a, b)
+	}
+	c := Fingerprint(mk(time.Second, 2.5))
+	if a == c {
+		t.Error("fingerprint ignored a stable cell change")
+	}
+	if !strings.Contains(a, "stable note") {
+		t.Errorf("stable note missing from fingerprint:\n%s", a)
+	}
+}
+
+// Row metadata never reaches the text renderer, but it does reach the
+// JSON output — so the fingerprint must cover it.
+func TestFingerprintCoversMeta(t *testing.T) {
+	mk := func(regime string) []*result.Table {
+		tb := &result.Table{ID: "T", Title: "demo", Columns: []string{"v"}}
+		tb.AddRowMeta(map[string]string{"regime": regime, "z": "1"}, result.Float(2))
+		return []*result.Table{tb}
+	}
+	a := Fingerprint(mk("practical"))
+	b := Fingerprint(mk("supercritical"))
+	if a == b {
+		t.Error("fingerprint ignored a row-meta change")
+	}
+	if !strings.Contains(a, "meta[0]: regime=practical z=1") {
+		t.Errorf("meta not rendered deterministically:\n%s", a)
+	}
+	var text bytes.Buffer
+	if err := Text(&text, mk("practical")[0]); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "regime") {
+		t.Error("Text unexpectedly renders meta (golden outputs would change)")
+	}
+}

@@ -1,0 +1,236 @@
+// Package result holds the typed experiment results: tables whose rows
+// are typed Cells (float, int, bool, string, duration) plus per-row
+// metadata, decoupled from any output format. Experiments build these
+// values; internal/expt/render turns them into aligned text, CSV, or
+// JSON. Keeping the data typed lets cmd/chkptbench, the benchmarks, and
+// future tooling consume results structurally instead of parsing
+// pre-rendered strings, and lets the determinism tests compare runs
+// cell-by-cell while masking volatile (wall-clock) content.
+package result
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Kind discriminates the value held by a Cell.
+type Kind uint8
+
+const (
+	// KindString is a raw string cell.
+	KindString Kind = iota
+	// KindFloat is a float rendered compactly (%.6g).
+	KindFloat
+	// KindSci is a float rendered in scientific notation (%.2e).
+	KindSci
+	// KindFixed is a float rendered with a fixed number of decimals
+	// (and an optional unit suffix, e.g. "3.1x").
+	KindFixed
+	// KindInt is an integer cell.
+	KindInt
+	// KindBool is a pass/fail cell rendered as "yes"/"NO".
+	KindBool
+	// KindDuration is a wall-clock measurement; always volatile.
+	KindDuration
+)
+
+// String names the kind for the JSON encoding.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindFloat:
+		return "float"
+	case KindSci:
+		return "sci"
+	case KindFixed:
+		return "fixed"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	case KindDuration:
+		return "duration"
+	}
+	return "invalid"
+}
+
+// Cell is one typed table value. The zero value is an empty string cell.
+type Cell struct {
+	Kind Kind
+	// F holds KindFloat/KindSci/KindFixed values.
+	F float64
+	// I holds KindInt values.
+	I int64
+	// S holds KindString values.
+	S string
+	// B holds KindBool values.
+	B bool
+	// D holds KindDuration values.
+	D time.Duration
+	// Prec is the decimal count for KindFixed.
+	Prec int
+	// Unit is appended after KindFixed values ("x", "%", ...).
+	Unit string
+	// Volatile marks content that legitimately differs between runs
+	// (wall-clock timings and values derived from them). Volatile cells
+	// are excluded from determinism fingerprints; everything else must
+	// reproduce bit-for-bit from the seed.
+	Volatile bool
+}
+
+// Str returns a raw string cell.
+func Str(s string) Cell { return Cell{Kind: KindString, S: s} }
+
+// Float returns a compact float cell (%.6g), the table default.
+func Float(v float64) Cell { return Cell{Kind: KindFloat, F: v} }
+
+// Sci returns a scientific-notation cell (%.2e), used for errors and CIs.
+func Sci(v float64) Cell { return Cell{Kind: KindSci, F: v} }
+
+// Fixed returns a fixed-decimals cell (e.g. Fixed(r, 3) → "0.998").
+func Fixed(v float64, prec int) Cell { return Cell{Kind: KindFixed, F: v, Prec: prec} }
+
+// FixedUnit is Fixed with a unit suffix (e.g. FixedUnit(s, 1, "x") → "4.2x").
+func FixedUnit(v float64, prec int, unit string) Cell {
+	return Cell{Kind: KindFixed, F: v, Prec: prec, Unit: unit}
+}
+
+// Int returns an integer cell.
+func Int(v int) Cell { return Cell{Kind: KindInt, I: int64(v)} }
+
+// Bool returns a pass/fail cell ("yes"/"NO").
+func Bool(v bool) Cell { return Cell{Kind: KindBool, B: v} }
+
+// Dur returns a wall-clock cell; it is volatile by construction.
+func Dur(d time.Duration) Cell { return Cell{Kind: KindDuration, D: d, Volatile: true} }
+
+// AsVolatile returns a copy of c marked volatile, for non-duration cells
+// whose value is derived from a measurement (speedups, time ratios).
+func (c Cell) AsVolatile() Cell {
+	c.Volatile = true
+	return c
+}
+
+// String renders the cell the way the text and CSV renderers print it.
+func (c Cell) String() string {
+	switch c.Kind {
+	case KindFloat:
+		return fmt.Sprintf("%.6g", c.F)
+	case KindSci:
+		return fmt.Sprintf("%.2e", c.F)
+	case KindFixed:
+		return fmt.Sprintf("%.*f%s", c.Prec, c.F, c.Unit)
+	case KindInt:
+		return fmt.Sprintf("%d", c.I)
+	case KindBool:
+		if c.B {
+			return "yes"
+		}
+		return "NO"
+	case KindDuration:
+		return c.D.String()
+	default:
+		return c.S
+	}
+}
+
+// MarshalJSON encodes the cell as {"kind": ..., "value": ..., "text": ...}
+// so consumers get both the typed value and the canonical rendering.
+func (c Cell) MarshalJSON() ([]byte, error) {
+	obj := struct {
+		Kind     string `json:"kind"`
+		Value    any    `json:"value"`
+		Text     string `json:"text"`
+		Volatile bool   `json:"volatile,omitempty"`
+	}{Kind: c.Kind.String(), Text: c.String(), Volatile: c.Volatile}
+	switch c.Kind {
+	case KindFloat, KindSci, KindFixed:
+		obj.Value = c.F
+	case KindInt:
+		obj.Value = c.I
+	case KindBool:
+		obj.Value = c.B
+	case KindDuration:
+		obj.Value = c.D.Nanoseconds()
+	default:
+		obj.Value = c.S
+	}
+	return json.Marshal(obj)
+}
+
+// Row is one table row: typed cells plus free-form metadata (row
+// provenance, parameter labels) that renderers may surface and tooling
+// may filter on.
+type Row struct {
+	Cells []Cell            `json:"cells"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+// Note is a line printed under a table (pass/fail criteria, caveats).
+type Note struct {
+	Text string `json:"text"`
+	// Volatile marks notes whose text depends on wall-clock measurements.
+	Volatile bool `json:"volatile,omitempty"`
+}
+
+// Table is a typed experiment result.
+type Table struct {
+	// ID is the experiment ID (e.g. "E1"); Title describes the table.
+	ID, Title string
+	// Columns holds the header cells.
+	Columns []string
+	// Rows holds the data; each row must have len(Columns) cells.
+	Rows []Row
+	// Notes are attached under the table.
+	Notes []Note
+}
+
+// AddRow appends a row of typed cells.
+func (t *Table) AddRow(cells ...Cell) {
+	t.Rows = append(t.Rows, Row{Cells: cells})
+}
+
+// AddRowMeta appends a row with metadata.
+func (t *Table) AddRowMeta(meta map[string]string, cells ...Cell) {
+	t.Rows = append(t.Rows, Row{Cells: cells, Meta: meta})
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, Note{Text: fmt.Sprintf(format, args...)})
+}
+
+// AddVolatileNote appends a note whose text depends on measurements.
+func (t *Table) AddVolatileNote(format string, args ...any) {
+	t.Notes = append(t.Notes, Note{Text: fmt.Sprintf(format, args...), Volatile: true})
+}
+
+// Volatile reports whether any cell or note in the table is volatile.
+func (t *Table) Volatile() bool {
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if c.Volatile {
+				return true
+			}
+		}
+	}
+	for _, n := range t.Notes {
+		if n.Volatile {
+			return true
+		}
+	}
+	return false
+}
+
+// MarshalJSON encodes the table with lower-case field names.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []Row    `json:"rows"`
+		Notes   []Note   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
+}

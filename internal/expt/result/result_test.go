@@ -1,0 +1,109 @@
+package result
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestCellString(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want string
+	}{
+		{Str("abc"), "abc"},
+		{Cell{}, ""},
+		{Float(1.0 / 3), "0.333333"},
+		{Float(123456789), "1.23457e+08"},
+		{Sci(0.0123), "1.23e-02"},
+		{Fixed(1.23456, 3), "1.235"},
+		{FixedUnit(4.26, 1, "x"), "4.3x"},
+		{Int(-42), "-42"},
+		{Bool(true), "yes"},
+		{Bool(false), "NO"},
+		{Dur(1500 * time.Millisecond), "1.5s"},
+	}
+	for _, c := range cases {
+		if got := c.cell.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.cell, got, c.want)
+		}
+	}
+}
+
+func TestVolatility(t *testing.T) {
+	if !Dur(time.Second).Volatile {
+		t.Error("durations must be volatile")
+	}
+	if Float(1).Volatile {
+		t.Error("floats are not volatile by default")
+	}
+	if !Float(1).AsVolatile().Volatile {
+		t.Error("AsVolatile did not mark the cell")
+	}
+
+	tb := &Table{Columns: []string{"a"}}
+	tb.AddRow(Float(1))
+	tb.AddNote("stable")
+	if tb.Volatile() {
+		t.Error("table with no volatile content reported volatile")
+	}
+	tb.AddVolatileNote("took %s", time.Second)
+	if !tb.Volatile() {
+		t.Error("volatile note not detected")
+	}
+
+	tb2 := &Table{Columns: []string{"a"}}
+	tb2.AddRow(Dur(time.Second))
+	if !tb2.Volatile() {
+		t.Error("volatile cell not detected")
+	}
+}
+
+func TestCellJSON(t *testing.T) {
+	b, err := json.Marshal(Fixed(1.25, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Kind  string  `json:"kind"`
+		Value float64 `json:"value"`
+		Text  string  `json:"text"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "fixed" || got.Value != 1.25 || got.Text != "1.25" {
+		t.Errorf("unexpected cell JSON: %s", b)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Columns: []string{"x"}}
+	tb.AddRowMeta(map[string]string{"p": "1"}, Int(3))
+	tb.AddNote("a note")
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID      string   `json:"id"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Cells []struct {
+				Kind  string `json:"kind"`
+				Value int64  `json:"value"`
+			} `json:"cells"`
+			Meta map[string]string `json:"meta"`
+		} `json:"rows"`
+		Notes []struct {
+			Text string `json:"text"`
+		} `json:"notes"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "T" || len(got.Rows) != 1 || got.Rows[0].Cells[0].Value != 3 ||
+		got.Rows[0].Meta["p"] != "1" || len(got.Notes) != 1 {
+		t.Errorf("unexpected table JSON: %s", b)
+	}
+}

@@ -37,6 +37,20 @@ func (s *Stream) Split() *Stream {
 	return newFrom(mix(s.hi, s.splits), mix(s.lo, s.splits+0x632be59bd9b4e019))
 }
 
+// Keyed derives the child stream identified by key. Unlike Split it does
+// not consume the split counter (or any other state), so the result
+// depends only on s's seed material and the key: every caller that holds
+// a stream with the same seed gets the same child for the same key,
+// regardless of how much the parent has been drawn from or split. This
+// is the primitive behind the experiment engine's determinism contract —
+// row jobs executed in any order, on any number of workers, reproduce
+// the serial run bit-for-bit because each job's stream is keyed, not
+// sequenced. Keyed children use salt constants disjoint from Split's, so
+// Keyed(k) never collides with the k-th Split child.
+func (s *Stream) Keyed(key uint64) *Stream {
+	return newFrom(mix(s.hi, key^0xd6e8feb86659fd93), mix(s.lo, key+0x8a91a6d40bf42040))
+}
+
 // mix is the SplitMix64 finalizer, a strong 64-bit mixer.
 func mix(z, salt uint64) uint64 {
 	z += salt * 0x9e3779b97f4a7c15

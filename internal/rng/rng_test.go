@@ -67,6 +67,86 @@ func TestSplitReproducible(t *testing.T) {
 	}
 }
 
+// TestSplitIndependentOfParentDrawOrder is the engine's prerequisite:
+// the k-th Split child depends only on the parent's seed material and
+// the split counter, never on how much the parent (or other children)
+// has been drawn from. Without this property, parallel workers drawing
+// from sibling streams would perturb each other's sequences.
+func TestSplitIndependentOfParentDrawOrder(t *testing.T) {
+	fresh := New(21)
+	drawn := New(21)
+	for i := 0; i < 1000; i++ {
+		drawn.Uint64() // exercise the parent before splitting
+	}
+	c1 := fresh.Split()
+	c2 := drawn.Split()
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split child diverged at step %d: parent draws leaked into the child", i)
+		}
+	}
+	// Drawing from one child must not perturb a sibling either.
+	s1, s2 := New(22), New(22)
+	a1 := s1.Split()
+	for i := 0; i < 500; i++ {
+		a1.Uint64()
+	}
+	b1 := s1.Split()
+	_ = s2.Split()
+	b2 := s2.Split()
+	for i := 0; i < 1000; i++ {
+		if b1.Uint64() != b2.Uint64() {
+			t.Fatalf("sibling draws perturbed the next split child at step %d", i)
+		}
+	}
+}
+
+func TestKeyedReproducible(t *testing.T) {
+	a := New(31).Keyed(12345)
+	b := New(31).Keyed(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Keyed is not deterministic")
+		}
+	}
+}
+
+// TestKeyedIndependentOfHistory: Keyed children ignore both draw and
+// split history of the parent — they are a pure function of (seed, key).
+func TestKeyedIndependentOfHistory(t *testing.T) {
+	fresh := New(33)
+	used := New(33)
+	for i := 0; i < 100; i++ {
+		used.Uint64()
+		used.Split()
+	}
+	a := fresh.Keyed(7)
+	b := used.Keyed(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Keyed child depends on parent history (step %d)", i)
+		}
+	}
+}
+
+func TestKeyedDistinct(t *testing.T) {
+	parent := New(35)
+	seen := map[uint64]uint64{}
+	for key := uint64(0); key < 200; key++ {
+		v := parent.Keyed(key).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("keys %d and %d collide on first draw", prev, key)
+		}
+		seen[v] = key
+	}
+	// Keyed children are also disjoint from Split children with small
+	// counters (the salts are deliberately different).
+	split1 := New(35).Split().Uint64()
+	if k1 := New(35).Keyed(1).Uint64(); k1 == split1 {
+		t.Error("Keyed(1) collides with the first Split child")
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	s := New(3)
 	for i := 0; i < 10000; i++ {
