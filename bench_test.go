@@ -24,7 +24,9 @@ import (
 	"repro/internal/expt"
 	"repro/internal/expt/engine"
 	"repro/internal/expt/render"
+	"repro/internal/failure"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -60,6 +62,7 @@ func BenchmarkE9Platform(b *testing.B)          { runExperiment(b, "E9") }
 func BenchmarkE10Downtime(b *testing.B)         { runExperiment(b, "E10") }
 func BenchmarkE11Weibull(b *testing.B)          { runExperiment(b, "E11") }
 func BenchmarkE12Extensions(b *testing.B)       { runExperiment(b, "E12") }
+func BenchmarkE13DPKernelScaling(b *testing.B)  { runExperiment(b, "E13") }
 
 // Engine benchmarks: the full quick-mode suite and the heaviest
 // Monte-Carlo experiment (E11, four simulation campaigns per row) at
@@ -134,6 +137,73 @@ func BenchmarkChainDP64(b *testing.B)   { benchChain(b, 64) }
 func BenchmarkChainDP256(b *testing.B)  { benchChain(b, 256) }
 func BenchmarkChainDP1024(b *testing.B) { benchChain(b, 1024) }
 func BenchmarkChainDP4096(b *testing.B) { benchChain(b, 4096) }
+
+// Kernel-off ablation: the dense Algorithm 1 scan (one exp + one expm1
+// per transition, all n(n+1)/2 transitions). Comparing against
+// BenchmarkChainDP* at the same size measures the segment-kernel +
+// exact-pruning speedup; experiment E13 records the same comparison as
+// a table.
+func benchChainDense(b *testing.B, n int) {
+	b.Helper()
+	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.01, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveChainDPDense(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainDPDense1024(b *testing.B) { benchChainDense(b, 1024) }
+func BenchmarkChainDPDense4096(b *testing.B) { benchChainDense(b, 4096) }
+
+// BenchmarkSimRunSteadyState measures one simulated execution in the
+// regime MonteCarlo's worker loop runs in — a reused resettable process
+// and a caller-owned segments slice. The acceptance bar is 0 allocs/op
+// (pinned by TestRunSteadyStateAllocs in internal/sim).
+func BenchmarkSimRunSteadyState(b *testing.B) {
+	g, err := dag.Chain(64, dag.DefaultWeights(), rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.05, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.SolveChainDP(cp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs, err := cp.Segments(res.CheckpointAfter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc := failure.NewExponentialProcess(0.05, rng.New(6))
+	opts := sim.Options{Downtime: 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc.Reset()
+		if _, err := sim.Run(segs, proc, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkExpectedTime(b *testing.B) {
 	m, err := expectation.NewModel(0.01, 0.5)

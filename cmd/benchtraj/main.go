@@ -1,0 +1,211 @@
+// Command benchtraj bootstraps the benchmark trajectory: it runs the
+// chain-DP benchmarks programmatically (kernel fast path vs the dense
+// Algorithm 1 scan, n ∈ {100, 1000, 5000} by default) plus the
+// steady-state simulation loop, and writes the measurements as JSON —
+// the artifact the CI bench job uploads, so successive commits leave a
+// comparable ns/op and allocs/op trail.
+//
+// Usage:
+//
+//	benchtraj                       # write BENCH_chain_dp.json
+//	benchtraj -out results.json     # choose the output path
+//	benchtraj -benchtime 0.2s       # shorter measurement per benchmark
+//	benchtraj -sizes 100,1000       # choose chain lengths
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expectation"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Measurement is one benchmark's recorded trajectory point.
+type Measurement struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the JSON document benchtraj emits.
+type Report struct {
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	Unix      int64         `json:"unix_time"`
+	Results   []Measurement `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtraj", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "BENCH_chain_dp.json", "output JSON path")
+		benchtime = fs.Duration("benchtime", 500*time.Millisecond, "target measurement time per benchmark")
+		sizesFlag = fs.String("sizes", "100,1000,5000", "comma-separated chain lengths")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(stderr, "benchtraj: bad size %q\n", s)
+			return 2
+		}
+		sizes = append(sizes, n)
+	}
+	// testing.Benchmark sizes its runs from the -test.benchtime flag;
+	// register the testing flags and set it to our budget.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+		return 1
+	}
+	report, err := measure(sizes)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+		return 1
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(report)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchtraj: write %s: %v\n", *out, err)
+		return 1
+	}
+	for _, m := range report.Results {
+		fmt.Fprintf(stderr, "%-28s %12.0f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	fmt.Fprintf(stderr, "benchtraj: wrote %d measurements to %s\n", len(report.Results), *out)
+	return 0
+}
+
+func measure(sizes []int) (*Report, error) {
+	report := &Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Unix:      time.Now().Unix(),
+	}
+	record := func(name string, n int, r testing.BenchmarkResult) {
+		report.Results = append(report.Results, Measurement{
+			Name:        name,
+			N:           n,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	for _, n := range sizes {
+		g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))
+		if err != nil {
+			return nil, err
+		}
+		m, err := expectation.NewModel(0.01, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		cp, _, err := core.NewChainProblem(g, m, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-flight once so a solver error surfaces as an error, not a
+		// swallowed benchmark failure.
+		if _, err := core.SolveChainDP(cp); err != nil {
+			return nil, err
+		}
+		if _, err := core.SolveChainDPDense(cp); err != nil {
+			return nil, err
+		}
+		bench := func(f func() error) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := f(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		record(fmt.Sprintf("chain_dp_kernel/n=%d", n), n, bench(func() error {
+			_, err := core.SolveChainDP(cp)
+			return err
+		}))
+		record(fmt.Sprintf("chain_dp_dense/n=%d", n), n, bench(func() error {
+			_, err := core.SolveChainDPDense(cp)
+			return err
+		}))
+	}
+
+	// Steady-state simulation loop: the allocs_per_op trajectory pins the
+	// allocation-free Monte-Carlo contract (0 expected).
+	simRes, err := simSteadyState()
+	if err != nil {
+		return nil, err
+	}
+	record("sim_run_steady_state", 0, simRes)
+	return report, nil
+}
+
+func simSteadyState() (testing.BenchmarkResult, error) {
+	g, err := dag.Chain(64, dag.DefaultWeights(), rng.New(5))
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	m, err := expectation.NewModel(0.05, 0.5)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	res, err := core.SolveChainDP(cp)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	segs, err := cp.Segments(res.CheckpointAfter)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	proc := failure.NewExponentialProcess(0.05, rng.New(6))
+	opts := sim.Options{Downtime: 0.5}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			proc.Reset()
+			if _, err := sim.Run(segs, proc, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchtrajWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stderr bytes.Buffer
+	if code := run([]string{"-out", out, "-benchtime", "1ms", "-sizes", "50,100"}, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// Two solvers × two sizes + the sim steady-state loop.
+	if len(rep.Results) != 5 {
+		t.Fatalf("got %d results, want 5: %+v", len(rep.Results), rep.Results)
+	}
+	byName := map[string]Measurement{}
+	for _, m := range rep.Results {
+		if m.NsPerOp <= 0 || m.Iterations <= 0 {
+			t.Errorf("%s: empty measurement %+v", m.Name, m)
+		}
+		byName[m.Name] = m
+	}
+	if _, ok := byName["chain_dp_kernel/n=100"]; !ok {
+		t.Error("missing chain_dp_kernel/n=100")
+	}
+	if m, ok := byName["sim_run_steady_state"]; !ok {
+		t.Error("missing sim_run_steady_state")
+	} else if m.AllocsPerOp != 0 {
+		t.Errorf("sim steady state allocates %d/op, want 0", m.AllocsPerOp)
+	}
+}
+
+func TestBenchtrajBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-sizes", "0"}, &stderr); code != 2 {
+		t.Errorf("bad size: exit %d, want 2", code)
+	}
+	if code := run([]string{"-sizes", "abc"}, &stderr); code != 2 {
+		t.Errorf("bad size: exit %d, want 2", code)
+	}
+}

@@ -1,4 +1,4 @@
-// Command chkptbench runs the reproduction experiment suite (E1–E12; see
+// Command chkptbench runs the reproduction experiment suite (E1–E13; see
 // DESIGN.md for the per-experiment index and EXPERIMENTS.md for recorded
 // results) through the parallel scenario engine and prints the result
 // tables.
@@ -14,7 +14,7 @@
 //	chkptbench -json           # emit typed JSON
 //
 // With a fixed seed the tables are byte-identical for every -parallel
-// value (volatile wall-clock cells in E7 excepted; see DESIGN.md's
+// value (volatile wall-clock cells in E7/E13 excepted; see DESIGN.md's
 // determinism contract).
 package main
 

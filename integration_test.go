@@ -36,8 +36,8 @@ func TestIntegrationEngineSuite(t *testing.T) {
 	if err := engine.FirstError(results); err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
-		t.Fatalf("engine ran %d experiments, want 12", len(results))
+	if len(results) != 13 {
+		t.Fatalf("engine ran %d experiments, want 13", len(results))
 	}
 	var text, csv, jsonBuf bytes.Buffer
 	suites := make([]render.Suite, 0, len(results))
@@ -73,7 +73,7 @@ func TestIntegrationEngineSuite(t *testing.T) {
 	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
 		t.Fatalf("JSON output does not round-trip: %v", err)
 	}
-	if len(decoded) != 12 || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
+	if len(decoded) != 13 || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
 		t.Fatalf("unexpected JSON shape: %d suites", len(decoded))
 	}
 	if len(decoded[0].Tables[0].Rows) == 0 {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/expectation"
 )
 
 // ChainResult is the output of the chain optimizers: the optimal expected
@@ -16,26 +18,141 @@ type ChainResult struct {
 
 // Positions returns the checkpointed positions of the result.
 func (r ChainResult) Positions() []int {
-	var out []int
-	for i, ck := range r.CheckpointAfter {
-		if ck {
-			out = append(out, i)
-		}
-	}
-	return out
+	return checkpointPositions(r.CheckpointAfter)
+}
+
+// DPStats reports how much work a pruned DP actually did.
+type DPStats struct {
+	// Transitions counts evaluated DP transitions; the unpruned
+	// Proposition 3 recurrence evaluates n(n+1)/2 of them.
+	Transitions int64
 }
 
 // SolveChainDP computes the optimal checkpoint placement for the chain
-// problem with the iterative form of Algorithm 1 (Proposition 3).
-//
-// Recurrence, 0-based over positions x ∈ [0, n):
+// problem: the recurrence of Algorithm 1 (Proposition 3),
 //
 //	E(x) = min_{j ∈ [x, n)}  e^{λ·rec(x)} (1/λ + D)(e^{λ(Σ_{i=x}^{j} w_i + C_j)} − 1) + E(j+1)
 //
-// with E(n) = 0 and rec(x) = R₀ for x = 0, R_{x−1} otherwise. Prefix sums
-// make each segment expectation O(1), so the total cost is O(n²) — the
-// complexity stated by Proposition 3.
+// with E(n) = 0 and rec(x) = R₀ for x = 0, R_{x−1} otherwise, evaluated
+// through the segment-expectation kernel: per-problem exponential tables
+// make every transition a fused multiply (no transcendental calls), and
+// the kernel's exact monotone bound lets the inner scan stop as soon as
+// the segment term alone exceeds the incumbent — near-linear behavior on
+// realistic instances, O(n²) worst case. Pruning provably never changes
+// the result of the kernel scan (see expectation.SegmentKernel); against
+// the dense scan, the kernel's fast path may resolve candidates tied to
+// within its ~4·10⁻¹³ relative error the other way, so placements agree
+// except on such floating-point ties and values agree to that tolerance
+// (pinned by the property tests in kernel_property_test.go).
+//
+// The reported Expected is re-accumulated over the chosen placement with
+// the reference arithmetic of Model.ExpectedTime, exactly as Algorithm 1
+// would compute it, so when the placement matches SolveChainDPDense's
+// the value is bit-identical to it.
 func SolveChainDP(cp *ChainProblem) (ChainResult, error) {
+	res, _, err := SolveChainDPStats(cp)
+	return res, err
+}
+
+// SolveChainDPStats is SolveChainDP, additionally reporting how many DP
+// transitions the pruned scan evaluated.
+func SolveChainDPStats(cp *ChainProblem) (ChainResult, DPStats, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, DPStats{}, err
+	}
+	kern, err := cp.kernel()
+	if err != nil {
+		return ChainResult{}, DPStats{}, err
+	}
+	n := cp.Len()
+	best := make([]float64, n+1)
+	next := make([]int, n) // next[x] = end position j of the first segment of the optimal suffix plan from x
+	var stats DPStats
+	for x := n - 1; x >= 0; x-- {
+		var scanned int64
+		best[x], next[x], scanned = prunedRow(kern, x, best)
+		stats.Transitions += scanned
+	}
+	ck := make([]bool, n)
+	for x := 0; x < n; {
+		ck[next[x]] = true
+		x = next[x] + 1
+	}
+	return ChainResult{Expected: cp.expectedAlong(next), CheckpointAfter: ck}, stats, nil
+}
+
+// prunedRow scans one Algorithm 1 row: min over j ∈ [x, n) of
+// kern.Segment(x, j) + tail[j+1]. tail must have length n+1 with
+// nonnegative (possibly +Inf) entries, which is what makes the early
+// stop exact: every remaining candidate's segment term alone is at
+// least Bound, so once that exceeds the incumbent (with the kernel's
+// slack) none can strictly improve it. Ties keep the earliest j, like
+// the dense scan. Returns the row optimum, its argmin, and the number
+// of transitions evaluated.
+//
+// It is shared by SolveChainDP and solveOrderDPKernel; the bounded and
+// live-set DPs keep specialized loops (per-layer initialization and
+// tie-breaking, incremental per-transition costs) but reuse the same
+// Bound/Slack stopping rule.
+func prunedRow(kern *expectation.SegmentKernel, x int, tail []float64) (float64, int, int64) {
+	n := kern.Len()
+	slack := kern.Slack()
+	bestE := infinity
+	bestJ := n - 1
+	var scanned int64
+	for j := x; j < n; j++ {
+		scanned++
+		cur := kern.Segment(x, j) + tail[j+1]
+		if cur < bestE {
+			bestE = cur
+			bestJ = j
+		}
+		if j+1 < n && kern.Bound(x, j+1) >= bestE*slack {
+			break
+		}
+	}
+	return bestE, bestJ, scanned
+}
+
+// kernel builds the segment-expectation kernel for the problem.
+func (cp *ChainProblem) kernel() (*expectation.SegmentKernel, error) {
+	n := cp.Len()
+	rec := make([]float64, n)
+	for x := 0; x < n; x++ {
+		rec[x] = cp.recoveryBefore(x)
+	}
+	return expectation.NewSegmentKernel(cp.Model, cp.Weights, cp.Ckpt, rec)
+}
+
+// expectedAlong re-accumulates the expectation of the plan encoded by the
+// next[] vector using the reference arithmetic, associating exactly like
+// the Algorithm 1 recursion (segment + suffix, right to left).
+func (cp *ChainProblem) expectedAlong(next []int) float64 {
+	n := cp.Len()
+	prefix := make([]float64, n+1)
+	for i, w := range cp.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	var segs []float64
+	for x := 0; x < n; {
+		j := next[x]
+		segs = append(segs, cp.Model.ExpectedTime(prefix[j+1]-prefix[x], cp.Ckpt[j], cp.recoveryBefore(x)))
+		x = j + 1
+	}
+	total := 0.0
+	for i := len(segs) - 1; i >= 0; i-- {
+		total = segs[i] + total
+	}
+	return total
+}
+
+// SolveChainDPDense is the unaccelerated iterative form of Algorithm 1:
+// prefix sums make each segment expectation O(1), for the O(n²) total
+// cost stated by Proposition 3, with every transition paying the full
+// exp/expm1 evaluation of Model.ExpectedTime. It is the reference the
+// kernel fast path is tested against and the kernel-off arm of
+// experiment E13.
+func SolveChainDPDense(cp *ChainProblem) (ChainResult, error) {
 	if err := cp.Validate(); err != nil {
 		return ChainResult{}, err
 	}

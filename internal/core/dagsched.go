@@ -1,8 +1,8 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
-	"sort"
 
 	"repro/internal/dag"
 	"repro/internal/expectation"
@@ -38,6 +38,10 @@ type LastTaskCosts struct {
 func (lc LastTaskCosts) CheckpointCost(g *dag.Graph, order []int, _, end int) float64 {
 	return g.Task(order[end]).Checkpoint
 }
+
+// CheckpointCostStartIndependent reports that CheckpointCost ignores the
+// segment start, enabling the kernel fast path of SolveOrderDP.
+func (lc LastTaskCosts) CheckpointCostStartIndependent() bool { return true }
 
 // RecoveryCost returns R of the task at position end.
 func (lc LastTaskCosts) RecoveryCost(g *dag.Graph, order []int, end int) float64 {
@@ -139,12 +143,33 @@ func (r DAGResult) Plan() Plan {
 	return Plan{Order: append([]int(nil), r.Order...), CheckpointAfter: append([]bool(nil), r.CheckpointAfter...)}
 }
 
+// StartIndependentCosts is implemented by cost models whose
+// CheckpointCost ignores the segment start (it depends only on the end
+// position). For such models SolveOrderDP evaluates transitions through
+// the segment-expectation kernel — no transcendental calls in the inner
+// loop, plus exact monotone pruning.
+type StartIndependentCosts interface {
+	CostModel
+	// CheckpointCostStartIndependent reports whether CheckpointCost(g,
+	// order, start, end) is the same for every start.
+	CheckpointCostStartIndependent() bool
+}
+
 // SolveOrderDP computes the optimal checkpoint placement for a fixed
 // linearization of g under an arbitrary cost model: the Proposition 3
 // dynamic program generalized to segment-dependent checkpoint costs. The
 // recovery cost of a segment depends only on where the previous checkpoint
 // sits, so optimal substructure is preserved and the DP stays exact for
-// the given order. Complexity is O(n²) segment evaluations.
+// the given order.
+//
+// Cost is O(n²) segment evaluations in general, accelerated per model:
+// start-independent models (StartIndependentCosts, e.g. LastTaskCosts)
+// run on the segment-expectation kernel with exact pruning, like
+// SolveChainDP; LiveSetCosts maintains live sets incrementally (O(total
+// out-degree) amortized per row instead of per-pair rescans) and prunes
+// with a work-only kernel bound. Either way the reported Expected is
+// re-accumulated over the chosen placement with the cost model's own
+// arithmetic, so accelerated and generic paths report comparable values.
 func SolveOrderDP(g *dag.Graph, order []int, m expectation.Model, cm CostModel) (DAGResult, error) {
 	if err := m.Validate(); err != nil {
 		return DAGResult{}, err
@@ -156,20 +181,77 @@ func SolveOrderDP(g *dag.Graph, order []int, m expectation.Model, cm CostModel) 
 	if n != g.Len() {
 		return DAGResult{}, fmt.Errorf("core: order covers %d of %d tasks", n, g.Len())
 	}
-	prefix := make([]float64, n+1)
+	if lv, ok := cm.(LiveSetCosts); ok {
+		return solveOrderDPLiveSet(g, order, m, lv)
+	}
+	if si, ok := cm.(StartIndependentCosts); ok && si.CheckpointCostStartIndependent() {
+		return solveOrderDPKernel(g, order, m, cm)
+	}
+	return solveOrderDPGeneric(g, order, m, cm)
+}
+
+// recBeforeAt returns the recovery cost in force for a segment starting
+// at position x: R₀ for x = 0, otherwise the cost model's recovery to
+// the checkpoint after x−1. Single source of truth for every
+// SolveOrderDP path.
+func recBeforeAt(g *dag.Graph, order []int, cm CostModel, x int) float64 {
+	if x == 0 {
+		return cm.InitialRecovery()
+	}
+	return cm.RecoveryCost(g, order, x-1)
+}
+
+// orderRecBefore materializes recBeforeAt for every position.
+func orderRecBefore(g *dag.Graph, order []int, cm CostModel) []float64 {
+	rec := make([]float64, len(order))
+	for x := range rec {
+		rec[x] = recBeforeAt(g, order, cm, x)
+	}
+	return rec
+}
+
+// orderPrefix returns the weight prefix sums of a linearization.
+func orderPrefix(g *dag.Graph, order []int) []float64 {
+	prefix := make([]float64, len(order)+1)
 	for i, id := range order {
 		prefix[i+1] = prefix[i] + g.Task(id).Weight
 	}
-	recBefore := func(x int) float64 {
-		if x == 0 {
-			return cm.InitialRecovery()
-		}
-		return cm.RecoveryCost(g, order, x-1)
+	return prefix
+}
+
+// solveOrderDPKernel is the fast path for start-independent checkpoint
+// costs: per-position cost tables feed the segment-expectation kernel,
+// and the pruned scan mirrors SolveChainDP.
+func solveOrderDPKernel(g *dag.Graph, order []int, m expectation.Model, cm CostModel) (DAGResult, error) {
+	n := len(order)
+	weights := make([]float64, n)
+	ckpt := make([]float64, n)
+	for i, id := range order {
+		weights[i] = g.Task(id).Weight
+		ckpt[i] = cm.CheckpointCost(g, order, i, i)
+	}
+	rec := orderRecBefore(g, order, cm)
+	kern, err := expectation.NewSegmentKernel(m, weights, ckpt, rec)
+	if err != nil {
+		return DAGResult{}, err
 	}
 	best := make([]float64, n+1)
 	next := make([]int, n)
 	for x := n - 1; x >= 0; x-- {
-		rec := recBefore(x)
+		best[x], next[x], _ = prunedRow(kern, x, best)
+	}
+	return orderResult(g, order, m, cm, next), nil
+}
+
+// solveOrderDPGeneric is the unaccelerated DP over an arbitrary cost
+// model, paying one CheckpointCost call per transition.
+func solveOrderDPGeneric(g *dag.Graph, order []int, m expectation.Model, cm CostModel) (DAGResult, error) {
+	n := len(order)
+	prefix := orderPrefix(g, order)
+	best := make([]float64, n+1)
+	next := make([]int, n)
+	for x := n - 1; x >= 0; x-- {
+		rec := recBeforeAt(g, order, cm, x)
 		best[x] = infinity
 		next[x] = n - 1
 		for j := x; j < n; j++ {
@@ -182,13 +264,132 @@ func SolveOrderDP(g *dag.Graph, order []int, m expectation.Model, cm CostModel) 
 			}
 		}
 	}
+	return orderResult(g, order, m, cm, next), nil
+}
+
+// orderResult reconstructs the checkpoint vector from a next[] table and
+// re-accumulates the expectation with the cost model's own arithmetic
+// (CheckpointCost/RecoveryCost per chosen segment, segment + suffix
+// association), so every SolveOrderDP path reports the value the generic
+// DP would.
+func orderResult(g *dag.Graph, order []int, m expectation.Model, cm CostModel, next []int) DAGResult {
+	n := len(order)
+	prefix := orderPrefix(g, order)
 	ckv := make([]bool, n)
+	var starts, ends []int
 	for x := 0; x < n; {
 		j := next[x]
 		ckv[j] = true
+		starts = append(starts, x)
+		ends = append(ends, j)
 		x = j + 1
 	}
-	return DAGResult{Order: append([]int(nil), order...), CheckpointAfter: ckv, Expected: best[0]}, nil
+	total := 0.0
+	for i := len(starts) - 1; i >= 0; i-- {
+		x, j := starts[i], ends[i]
+		rec := recBeforeAt(g, order, cm, x)
+		total = m.ExpectedTime(prefix[j+1]-prefix[x], cm.CheckpointCost(g, order, x, j), rec) + total
+	}
+	return DAGResult{Order: append([]int(nil), order...), CheckpointAfter: ckv, Expected: total}
+}
+
+// solveOrderDPLiveSet is the accelerated DP for the Section 6 live-set
+// cost model. Instead of recomputing live sets from scratch for every
+// (start, end) pair — which makes the generic DP effectively cubic — it
+// precomputes each position's last use (the latest-scheduled successor)
+// once, maintains the segment checkpoint cost incrementally while the
+// inner scan extends the segment (add the new task's C, retire tasks
+// whose last use is the new end), and computes all recovery costs in one
+// incremental sweep. Per row the cost work is O(scan length + retired
+// positions), i.e. O(total out-degree) amortized. The scan is pruned
+// with a work-only kernel bound: checkpoint costs are nonnegative, so a
+// zero-cost segment expectation bounds the true one from below.
+func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv LiveSetCosts) (DAGResult, error) {
+	n := len(order)
+	pos := positionsOf(g, order)
+	weights := make([]float64, n)
+	cPos := make([]float64, n) // checkpoint cost of the task at position i
+	rPos := make([]float64, n) // recovery cost of the task at position i
+	for i, id := range order {
+		t := g.Task(id)
+		weights[i] = t.Weight
+		cPos[i] = t.Checkpoint
+		rPos[i] = t.Recovery
+	}
+	// lastUse[i]: the position after which the output of the task at
+	// position i is dead — the maximum position of its successors, or n
+	// for sinks (final results stay live forever).
+	lastUse := make([]int, n)
+	for i, id := range order {
+		succ := g.Successors(id)
+		if len(succ) == 0 {
+			lastUse[i] = n
+			continue
+		}
+		last := 0
+		for _, s := range succ {
+			if pos[s] > last {
+				last = pos[s]
+			}
+		}
+		lastUse[i] = last
+	}
+	// retireAt[j]: positions whose output dies once position j has run.
+	retireAt := make([][]int, n)
+	for i, last := range lastUse {
+		if last < n {
+			retireAt[last] = append(retireAt[last], i)
+		}
+	}
+	// All recovery costs in one incremental sweep: rec(end) adds the
+	// task that just ran (its output is always live at its own position)
+	// and retires outputs last used at end.
+	recBefore := make([]float64, n)
+	recBefore[0] = lv.InitialRecovery()
+	acc := 0.0
+	for end := 0; end < n-1; end++ {
+		acc += rPos[end]
+		for _, p := range retireAt[end] {
+			acc -= rPos[p]
+		}
+		recBefore[end+1] = acc
+	}
+	// Work-only kernel: zero checkpoint costs make its Segment a lower
+	// bound on every live-set segment expectation, which drives pruning;
+	// SegmentWithCost supplies the exact per-transition value.
+	kern, err := expectation.NewSegmentKernel(m, weights, make([]float64, n), recBefore)
+	if err != nil {
+		return DAGResult{}, err
+	}
+	slack := kern.Slack()
+	best := make([]float64, n+1)
+	next := make([]int, n)
+	for x := n - 1; x >= 0; x-- {
+		bestE := infinity
+		bestJ := n - 1
+		ckCost := 0.0
+		for j := x; j < n; j++ {
+			// Extend the segment to j: the new task's output is live, and
+			// outputs last used at j retire (if they joined at ≥ x).
+			ckCost += cPos[j]
+			for _, p := range retireAt[j] {
+				if p >= x {
+					ckCost -= cPos[p]
+				}
+			}
+			cur := kern.SegmentWithCost(x, j, ckCost) + best[j+1]
+			if cur < bestE {
+				bestE = cur
+				bestJ = j
+			}
+			if j+1 < n && kern.Bound(x, j+1) >= bestE*slack {
+				break
+			}
+		}
+		best[x] = bestE
+		next[x] = bestJ
+	}
+	return orderResult(g, order, m, lv, next), nil
 }
 
 // LinearizationStrategy produces a topological order of g.
@@ -294,28 +495,53 @@ func MinLiveSetStrategy() LinearizationStrategy {
 	}
 }
 
+// readyQueue is a min-heap of ready task IDs ordered by a strategy's
+// comparison function (each strategy's less is a total order thanks to
+// its ID tie-break, so the pop sequence is deterministic).
+type readyQueue struct {
+	g    *dag.Graph
+	less func(a, b dag.Task) bool
+	ids  []int
+}
+
+func (q *readyQueue) Len() int { return len(q.ids) }
+func (q *readyQueue) Less(i, j int) bool {
+	return q.less(q.g.Task(q.ids[i]), q.g.Task(q.ids[j]))
+}
+func (q *readyQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
+func (q *readyQueue) Push(x any)    { q.ids = append(q.ids, x.(int)) }
+func (q *readyQueue) Pop() any {
+	last := len(q.ids) - 1
+	v := q.ids[last]
+	q.ids = q.ids[:last]
+	return v
+}
+
+// readyListOrder linearizes g by repeatedly scheduling the least ready
+// task under the strategy's order. The ready set lives in a heap, so a
+// full linearization costs O((n + e)·log n) instead of the O(n²·log n) a
+// per-step re-sort of the ready list would pay.
 func readyListOrder(g *dag.Graph, less func(a, b dag.Task) bool) ([]int, error) {
 	n := g.Len()
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
 		indeg[i] = len(g.Predecessors(i))
 	}
-	ready := make([]int, 0, n)
+	q := &readyQueue{g: g, less: less, ids: make([]int, 0, n)}
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			ready = append(ready, i)
+			q.ids = append(q.ids, i)
 		}
 	}
+	heap.Init(q)
 	order := make([]int, 0, n)
-	for len(ready) > 0 {
-		sort.Slice(ready, func(a, b int) bool { return less(g.Task(ready[a]), g.Task(ready[b])) })
-		v := ready[0]
-		ready = ready[1:]
+	for q.Len() > 0 {
+		v := heap.Pop(q).(int)
 		order = append(order, v)
 		for _, s := range g.Successors(v) {
 			indeg[s]--
 			if indeg[s] == 0 {
-				ready = append(ready, s)
+				heap.Push(q, s)
 			}
 		}
 	}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expectation"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// These property tests pin the kernel fast path of SolveChainDP to the
+// reference solvers — SolveChainDPDense (the seed iterative loop),
+// SolveChainDPRecursive (the paper's Algorithm 1 transcription), and
+// BruteForceChain — on random chains covering the extreme regimes the
+// kernel's stability contract names: λ(W+C) near and over
+// numeric.MaxExpArg (+Inf semantics), λw ≪ 1 (the expm1 regime), and
+// zero-weight / zero-cost tasks.
+
+// randomChain draws a chain problem; zeroFrac is the probability that a
+// weight or cost is exactly zero.
+func randomChain(r *rng.Stream, n int, lambda, maxW, zeroFrac float64) *ChainProblem {
+	cp := &ChainProblem{
+		Weights:         make([]float64, n),
+		Ckpt:            make([]float64, n),
+		Rec:             make([]float64, n),
+		InitialRecovery: r.Range(0, 1),
+		Model:           expectation.Model{Lambda: lambda, Downtime: r.Range(0, 2)},
+	}
+	draw := func(lo, hi float64) float64 {
+		if r.Float64() < zeroFrac {
+			return 0
+		}
+		return r.Range(lo, hi)
+	}
+	for i := 0; i < n; i++ {
+		cp.Weights[i] = draw(0, maxW)
+		cp.Ckpt[i] = draw(0, maxW/5)
+		cp.Rec[i] = draw(0, maxW/5)
+	}
+	return cp
+}
+
+// checkAgainst verifies the kernel result against a reference result.
+// With bitExact (the dense reference, which shares the prefix-difference
+// arithmetic), identical placements must give bit-identical Expected;
+// otherwise (the recursive transcription computes its final singleton
+// segment from the raw weight, an ulp apart from the prefix difference)
+// ulp-scale agreement is required. Placements may legitimately differ
+// only when both are optimal to within the kernel's error bound, in
+// which case the Expected values and the reference evaluation of both
+// placements must agree to ulp-scale relative error.
+func checkAgainst(t *testing.T, tag string, cp *ChainProblem, kernel, ref ChainResult, bitExact bool) {
+	t.Helper()
+	samePlacement := true
+	for i := range kernel.CheckpointAfter {
+		if kernel.CheckpointAfter[i] != ref.CheckpointAfter[i] {
+			samePlacement = false
+			break
+		}
+	}
+	if samePlacement && bitExact {
+		if kernel.Expected != ref.Expected && !(math.IsNaN(kernel.Expected) && math.IsNaN(ref.Expected)) {
+			t.Fatalf("%s: same placement but Expected %v vs %v", tag, kernel.Expected, ref.Expected)
+		}
+		return
+	}
+	if samePlacement {
+		if kernel.Expected == ref.Expected || numeric.RelErr(kernel.Expected, ref.Expected) <= 1e-13 {
+			return
+		}
+		t.Fatalf("%s: same placement but Expected %v vs %v", tag, kernel.Expected, ref.Expected)
+	}
+	const tol = 1e-11
+	if math.IsInf(ref.Expected, 1) || math.IsInf(kernel.Expected, 1) {
+		// Near the overflow boundary two huge placements can straddle
+		// +Inf; both evaluations must at least be astronomically large.
+		if !(kernel.Expected > 1e290 && ref.Expected > 1e290) {
+			t.Fatalf("%s: placements differ with Expected %v vs %v", tag, kernel.Expected, ref.Expected)
+		}
+		return
+	}
+	if numeric.RelErr(kernel.Expected, ref.Expected) > tol {
+		t.Fatalf("%s: placements differ and Expected %v vs %v (rel %v)", tag, kernel.Expected, ref.Expected, numeric.RelErr(kernel.Expected, ref.Expected))
+	}
+	// Both placements must evaluate as optimal under the reference
+	// arithmetic too.
+	ek, err := cp.Makespan(kernel.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := cp.Makespan(ref.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(ek, er) > tol {
+		t.Fatalf("%s: placements evaluate to %v vs %v", tag, ek, er)
+	}
+}
+
+func TestKernelDPEquivalenceRandom(t *testing.T) {
+	r := rng.New(101)
+	lambdas := []float64{1e-9, 1e-6, 1e-3, 0.02, 0.3, 2}
+	for trial := 0; trial < 60; trial++ {
+		lambda := lambdas[trial%len(lambdas)]
+		n := 1 + int(r.Uint64()%40)
+		cp := randomChain(r, n, lambda, 10, 0.1)
+		kernel, err := SolveChainDP(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := SolveChainDPDense(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := SolveChainDPRecursive(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainst(t, "vs dense", cp, kernel, dense, true)
+		checkAgainst(t, "vs recursive", cp, kernel, rec, false)
+	}
+}
+
+func TestKernelDPEquivalenceBruteForce(t *testing.T) {
+	r := rng.New(202)
+	for trial := 0; trial < 40; trial++ {
+		lambda := []float64{1e-8, 1e-3, 0.1, 1}[trial%4]
+		n := 2 + int(r.Uint64()%9)
+		cp := randomChain(r, n, lambda, 8, 0.15)
+		kernel, err := SolveChainDP(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForceChain(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The DP and the enumeration must agree on the optimal value.
+		if numeric.RelErr(kernel.Expected, bf.Expected) > 1e-11 {
+			t.Fatalf("n=%d λ=%v: kernel %v vs brute force %v", n, lambda, kernel.Expected, bf.Expected)
+		}
+	}
+}
+
+// TestKernelDPOverflowRegime drives λ(W+C) across numeric.MaxExpArg:
+// whole-chain segments overflow to +Inf while short segments stay
+// finite, and near the boundary the kernel must agree with the dense
+// reference on which plans are representable.
+func TestKernelDPOverflowRegime(t *testing.T) {
+	r := rng.New(303)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + int(r.Uint64()%12)
+		// Scale total work to put λ·(W_total+C) in [0.5·709, 2·709].
+		cp := randomChain(r, n, 1, 10, 0.05)
+		var total float64
+		for _, w := range cp.Weights {
+			total += w
+		}
+		if total == 0 {
+			continue
+		}
+		target := numeric.MaxExpArg * (0.5 + 1.5*r.Float64())
+		scale := target / total
+		for i := range cp.Weights {
+			cp.Weights[i] *= scale
+		}
+		kernel, err := SolveChainDP(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := SolveChainDPDense(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(dense.Expected, 1) != math.IsInf(kernel.Expected, 1) {
+			// Disagreement is only legal if both are astronomically large
+			// (the boundary itself can differ by an ulp between paths).
+			if !(kernel.Expected > 1e290 || dense.Expected > 1e290) {
+				t.Fatalf("overflow classification differs: kernel %v, dense %v", kernel.Expected, dense.Expected)
+			}
+			continue
+		}
+		checkAgainst(t, "overflow regime", cp, kernel, dense, true)
+	}
+}
+
+// TestKernelDPTinyLambda pins the expm1 regime λw ≪ 1, where every
+// transition takes the stable path and results must be bit-identical to
+// the dense reference.
+func TestKernelDPTinyLambda(t *testing.T) {
+	r := rng.New(404)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(r.Uint64()%30)
+		cp := randomChain(r, n, 1e-12, 5, 0.1)
+		kernel, err := SolveChainDP(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := SolveChainDPDense(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range kernel.CheckpointAfter {
+			if kernel.CheckpointAfter[i] != dense.CheckpointAfter[i] {
+				t.Fatalf("expm1 regime: placements differ at %d", i)
+			}
+		}
+		if kernel.Expected != dense.Expected {
+			t.Fatalf("expm1 regime: Expected %v vs %v", kernel.Expected, dense.Expected)
+		}
+	}
+}
+
+// TestKernelDPDegenerate covers all-zero chains and single positions.
+func TestKernelDPDegenerate(t *testing.T) {
+	m := expectation.Model{Lambda: 0.1, Downtime: 1}
+	cp := &ChainProblem{
+		Weights: make([]float64, 6),
+		Ckpt:    make([]float64, 6),
+		Rec:     make([]float64, 6),
+		Model:   m,
+	}
+	kernel, err := SolveChainDP(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernel.Expected != 0 {
+		t.Errorf("all-zero chain: Expected = %v, want 0", kernel.Expected)
+	}
+	one := &ChainProblem{Weights: []float64{3}, Ckpt: []float64{1}, Rec: []float64{1}, Model: m}
+	kernel, err = SolveChainDP(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.ExpectedTime(3, 1, 0); kernel.Expected != want {
+		t.Errorf("single position: Expected = %v, want %v", kernel.Expected, want)
+	}
+}
+
+// TestBoundedDPKernelEquivalence pins the kernelized bounded solver to
+// an unpruned reference computed inline.
+func TestBoundedDPKernelEquivalence(t *testing.T) {
+	r := rng.New(505)
+	for trial := 0; trial < 25; trial++ {
+		lambda := []float64{1e-6, 0.02, 0.5}[trial%3]
+		n := 2 + int(r.Uint64()%14)
+		cp := randomChain(r, n, lambda, 8, 0.1)
+		for budget := 1; budget <= n; budget += 1 + n/4 {
+			got, err := SolveChainDPBounded(cp, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference: unrestricted brute force over placements with at
+			// most `budget` checkpoints (small n keeps this tractable).
+			bestE := math.Inf(1)
+			ck := make([]bool, n)
+			ck[n-1] = true
+			for mask := 0; mask < 1<<(n-1); mask++ {
+				cnt := 1
+				for i := 0; i < n-1; i++ {
+					ck[i] = mask&(1<<i) != 0
+					if ck[i] {
+						cnt++
+					}
+				}
+				if cnt > budget {
+					continue
+				}
+				e, err := cp.Makespan(ck)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e < bestE {
+					bestE = e
+				}
+			}
+			if math.IsInf(bestE, 1) && math.IsInf(got.Expected, 1) {
+				continue
+			}
+			if numeric.RelErr(got.Expected, bestE) > 1e-11 {
+				t.Fatalf("n=%d budget=%d: bounded DP %v vs brute force %v", n, budget, got.Expected, bestE)
+			}
+			if nCk := len(got.Positions()); nCk > budget {
+				t.Fatalf("budget %d exceeded: %d checkpoints", budget, nCk)
+			}
+		}
+	}
+}

@@ -63,8 +63,25 @@ func NewPlan(order []int, checkpointPositions ...int) (Plan, error) {
 // Checkpoints returns the positions (indices into Order) after which a
 // checkpoint is taken, in increasing order.
 func (p Plan) Checkpoints() []int {
-	var out []int
-	for i, ck := range p.CheckpointAfter {
+	return checkpointPositions(p.CheckpointAfter)
+}
+
+// checkpointPositions converts a checkpoint vector to its positions, in
+// increasing order, with a single exactly-sized allocation. It is the
+// shared implementation behind Plan.Checkpoints and
+// ChainResult.Positions.
+func checkpointPositions(checkpointAfter []bool) []int {
+	n := 0
+	for _, ck := range checkpointAfter {
+		if ck {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i, ck := range checkpointAfter {
 		if ck {
 			out = append(out, i)
 		}

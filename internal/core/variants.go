@@ -16,7 +16,12 @@ import (
 // SolveChainDPBounded computes the optimal placement subject to using at
 // most maxCheckpoints checkpoints (including the mandatory final one).
 // The DP layers the Algorithm 1 recurrence by remaining budget:
-// E_k(x) = min_j segment(x, j) + E_{k−1}(j+1), for O(n²·k) total work.
+// E_k(x) = min_j segment(x, j) + E_{k−1}(j+1), for O(n²·k) transitions.
+// Transitions are evaluated through the segment-expectation kernel (the
+// segment term does not depend on the budget layer, so one kernel serves
+// every layer), and each layer's inner scan is pruned with the kernel's
+// exact monotone bound; the reported Expected is re-accumulated over the
+// chosen placement with the reference arithmetic, like SolveChainDP.
 func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, error) {
 	if err := cp.Validate(); err != nil {
 		return ChainResult{}, err
@@ -28,10 +33,11 @@ func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, err
 	if maxCheckpoints > n {
 		maxCheckpoints = n
 	}
-	prefix := make([]float64, n+1)
-	for i, w := range cp.Weights {
-		prefix[i+1] = prefix[i] + w
+	kern, err := cp.kernel()
+	if err != nil {
+		return ChainResult{}, err
 	}
+	slack := kern.Slack()
 	// best[k][x]: optimal expected time for positions x..n−1 with at
 	// most k checkpoints. k = 0 is infeasible (every plan ends with a
 	// checkpoint).
@@ -47,40 +53,55 @@ func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, err
 	}
 	for k := 1; k <= maxCheckpoints; k++ {
 		for x := n - 1; x >= 0; x-- {
-			rec := cp.recoveryBefore(x)
 			// Option: single segment to the end.
-			e := cp.Model.ExpectedTime(prefix[n]-prefix[x], cp.Ckpt[n-1], rec)
-			best[k][x] = e
+			best[k][x] = kern.Segment(x, n-1)
 			next[k][x] = n - 1
 			if k == 1 {
 				continue
 			}
 			for j := x; j < n-1; j++ {
-				if best[k-1][j+1] == infinity {
-					continue
+				if best[k-1][j+1] != infinity {
+					cur := kern.Segment(x, j) + best[k-1][j+1]
+					if cur < best[k][x] {
+						best[k][x] = cur
+						next[k][x] = j
+					}
 				}
-				cur := cp.Model.ExpectedTime(prefix[j+1]-prefix[x], cp.Ckpt[j], rec) + best[k-1][j+1]
-				if cur < best[k][x] {
-					best[k][x] = cur
-					next[k][x] = j
+				if kern.Bound(x, j+1) >= best[k][x]*slack {
+					break
 				}
 			}
 		}
 	}
 	ck := make([]bool, n)
 	k := maxCheckpoints
+	segStarts := make([]int, 0, maxCheckpoints)
+	segEnds := make([]int, 0, maxCheckpoints)
 	for x := 0; x < n; {
 		j := next[k][x]
 		if j < 0 {
 			return ChainResult{}, fmt.Errorf("core: internal reconstruction failure at x=%d k=%d", x, k)
 		}
 		ck[j] = true
+		segStarts = append(segStarts, x)
+		segEnds = append(segEnds, j)
 		x = j + 1
 		if k > 1 {
 			k--
 		}
 	}
-	return ChainResult{Expected: best[maxCheckpoints][0], CheckpointAfter: ck}, nil
+	// Re-accumulate the value with the reference arithmetic, associating
+	// like the layered recurrence (segment + suffix, right to left).
+	prefix := make([]float64, n+1)
+	for i, w := range cp.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	total := 0.0
+	for i := len(segStarts) - 1; i >= 0; i-- {
+		x, j := segStarts[i], segEnds[i]
+		total = cp.Model.ExpectedTime(prefix[j+1]-prefix[x], cp.Ckpt[j], cp.recoveryBefore(x)) + total
+	}
+	return ChainResult{Expected: total, CheckpointAfter: ck}, nil
 }
 
 // IsHomogeneous reports whether all checkpoint costs and all recovery

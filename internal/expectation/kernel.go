@@ -1,0 +1,214 @@
+package expectation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// SegmentKernel is the fast evaluator behind the chain/DAG placement DPs
+// (Proposition 3 and its generalizations). The DP transition needs the
+// segment expectation of Proposition 1 for O(n²) (start, end) pairs,
+//
+//	E(x, j) = e^{λ·rec(x)} (1/λ + D) (e^{λ(P(j+1) − P(x) + C_j)} − 1),
+//
+// and the naive evaluation pays one math.Exp plus one math.Expm1 per
+// pair. The kernel instead precomputes, once per problem (O(n) exp
+// calls),
+//
+//	endFrac/endExp[j]     = e^{λ(P(j+1) + C_j)}   (scaled, never overflows)
+//	startFrac/startExp[x] = e^{−λ·P(x)}           (scaled)
+//	amp[x]                = e^{λ·rec(x)} (1/λ + D)
+//
+// so each transition becomes two multiplies and a table-backed power-of-
+// two scaling — zero transcendental calls in the inner loop.
+//
+// # Numerical-stability contract
+//
+// The fused product e^{t_j}·e^{−u_x} − 1 loses relative precision when
+// the segment argument a = λ(w + C) is small (the classic expm1
+// cancellation): the error is about 4ε·(1 + 1/a). Segment therefore
+// falls back to the expm1-stable path — bit-identical to
+// Model.ExpectedTime — whenever a < StableArgThreshold, keeping the fast
+// path's relative error below ~4·10⁻¹³ while the practically dominant
+// λw ≪ 1 regime retains full precision. Arguments past
+// numeric.MaxExpArg report +Inf, and λ·rec(x) past it reports +Inf,
+// exactly like Model.ExpectedTime.
+//
+// For very large absolute prefixes (λ·P(n) beyond ~7·10⁵) the scaled
+// tables themselves lose up to λ·P(n)·2⁻⁵² of relative accuracy (see
+// numeric.ExpScaled); Slack widens with the problem's magnitude so that
+// pruning stays exact even there.
+//
+// # Exact pruning
+//
+// Bound(x, j) returns a value that is — up to the Slack factor — a lower
+// bound on Segment(x, k) for every k ≥ j: it evaluates the suffix
+// minimum of the end table, and scaling by the common positive factors
+// e^{−λP(x)} and amp[x] is monotone in floating point (rounding is
+// monotone, power-of-two scaling is exact). A DP scanning j upward may
+// therefore stop as soon as Bound(x, j+1) ≥ best·Slack(): every skipped
+// candidate's segment term alone already exceeds the incumbent, and DP
+// tails are nonnegative, so no skipped candidate can strictly improve.
+// Since the paper's recurrences break ties toward the earliest scanned
+// index, the pruned scan reproduces the unpruned kernel scan exactly.
+type SegmentKernel struct {
+	model  Model
+	prefix []float64 // prefix[i] = Σ_{k<i} weights[k], len n+1
+	ckpt   []float64
+	t      []float64 // t[j] = λ·(prefix[j+1] + C_j)
+	u      []float64 // u[x] = λ·prefix[x]
+
+	endFrac   []float64 // e^{t[j]} scaled: frac ∈ [1,2)
+	endExp    []int32
+	startFrac []float64 // e^{−u[x]} scaled
+	startExp  []int32
+
+	amp    []float64 // amp[x] = e^{λ·rec(x)}·(1/λ + D); see recInf
+	recInf []bool    // λ·rec(x) > numeric.MaxExpArg → Segment is +Inf
+	sufMin []int32   // sufMin[j] = argmin_{k ≥ j} t[k]
+	slack  float64
+}
+
+// StableArgThreshold is the segment argument λ(W+C) below which Segment
+// uses the expm1-stable path (bit-identical to Model.ExpectedTime)
+// instead of the fused scaled product. At the threshold the fast path's
+// relative error is about 4ε·(1+2¹⁰) ≈ 4·10⁻¹³.
+const StableArgThreshold = 1.0 / 1024
+
+// kernelBaseSlack covers the fast path's relative error (both in Segment
+// and in Bound) with three orders of magnitude to spare.
+const kernelBaseSlack = 1e-9
+
+// NewSegmentKernel builds the kernel for a positional problem: weights,
+// per-position checkpoint costs, and recBefore[x] — the recovery cost in
+// force when a segment starts at position x (R₀ for x = 0 in the chain
+// problem). All three slices must have equal, positive length.
+func NewSegmentKernel(m Model, weights, ckpt, recBefore []float64) (*SegmentKernel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("expectation: kernel needs at least one position")
+	}
+	if len(ckpt) != n || len(recBefore) != n {
+		return nil, fmt.Errorf("expectation: kernel slice lengths differ (%d, %d, %d)", n, len(ckpt), len(recBefore))
+	}
+	k := &SegmentKernel{
+		model:     m,
+		prefix:    make([]float64, n+1),
+		ckpt:      ckpt,
+		t:         make([]float64, n),
+		u:         make([]float64, n),
+		endFrac:   make([]float64, n),
+		endExp:    make([]int32, n),
+		startFrac: make([]float64, n),
+		startExp:  make([]int32, n),
+		amp:       make([]float64, n),
+		recInf:    make([]bool, n),
+		sufMin:    make([]int32, n),
+	}
+	for i, w := range weights {
+		k.prefix[i+1] = k.prefix[i] + w
+	}
+	scale := 1/m.Lambda + m.Downtime
+	for i := 0; i < n; i++ {
+		k.t[i] = m.Lambda * (k.prefix[i+1] + ckpt[i])
+		k.u[i] = m.Lambda * k.prefix[i]
+		f, e := numeric.ExpScaled(k.t[i])
+		k.endFrac[i], k.endExp[i] = f, int32(e)
+		f, e = numeric.ExpScaled(-k.u[i])
+		k.startFrac[i], k.startExp[i] = f, int32(e)
+		lr := m.Lambda * recBefore[i]
+		if lr > numeric.MaxExpArg {
+			k.recInf[i] = true
+			k.amp[i] = math.Inf(1)
+		} else {
+			k.amp[i] = math.Exp(lr) * scale
+		}
+	}
+	// Suffix argmin of the end table, compared by the full-precision
+	// exponents t[j] rather than the scaled pairs: the pairs lose the
+	// magnitude of saturated entries (they all collapse to the sentinel),
+	// while t keeps the true order everywhere. Candidates whose t are
+	// within an ulp of each other can rank either way against their
+	// scaled values; Slack absorbs that, as it does the cross-path
+	// comparisons.
+	best := int32(n - 1)
+	k.sufMin[n-1] = best
+	for j := n - 2; j >= 0; j-- {
+		if k.t[j] < k.t[best] {
+			best = int32(j)
+		}
+		k.sufMin[j] = best
+	}
+	// Pruning slack: fast-path error plus the large-prefix degradation of
+	// the scaled tables (λ·P(n)·2⁻⁵², with headroom).
+	k.slack = 1 + kernelBaseSlack + 8e-16*math.Max(1, k.t[n-1])
+	return k, nil
+}
+
+// Len returns the number of positions.
+func (k *SegmentKernel) Len() int { return len(k.t) }
+
+// Segment returns the Proposition 1 expectation of executing positions
+// [x, j] and checkpointing after j, with the recovery cost in force at x.
+// It agrees with Model.ExpectedTime(P(j+1)−P(x), C_j, rec(x)) to the
+// contract documented on SegmentKernel (bit-identical below
+// StableArgThreshold, ≲4·10⁻¹³ relative above it, same ±Inf semantics).
+func (k *SegmentKernel) Segment(x, j int) float64 {
+	if k.recInf[x] {
+		return math.Inf(1)
+	}
+	arg := k.t[j] - k.u[x]
+	if arg > numeric.MaxExpArg {
+		return math.Inf(1)
+	}
+	if arg < StableArgThreshold ||
+		k.startExp[x] <= -numeric.ExpScaledSatExp || k.endExp[j] >= numeric.ExpScaledSatExp {
+		// Expm1-stable path, mirroring Model.ExpectedTime's expression
+		// tree so the result is bit-identical to the reference. Besides
+		// the small-argument regime, this also covers saturated scaled
+		// pairs (λ·P beyond ExpScaled's cap, ~3.7e8): their sentinel
+		// exponents would cancel in the product and yield garbage, while
+		// the argument difference itself is still well conditioned.
+		w := k.prefix[j+1] - k.prefix[x]
+		return k.amp[x] * math.Expm1(k.model.Lambda*(w+k.ckpt[j]))
+	}
+	frac := k.endFrac[j] * k.startFrac[x]
+	return k.amp[x] * (numeric.LdexpProduct(frac, int(k.endExp[j])+int(k.startExp[x])) - 1)
+}
+
+// SegmentWithCost returns the Proposition 1 expectation of executing
+// positions [x, j] and closing with a checkpoint of explicit cost c —
+// for cost models whose checkpoint cost depends on the segment start, so
+// it cannot live in the precomputed end table. It pays one math.Expm1
+// per call but still hoists the amplitude e^{λ·rec(x)}(1/λ+D) from the
+// precomputed table; the result is bit-identical to
+// Model.ExpectedTime(P(j+1)−P(x), c, rec(x)).
+func (k *SegmentKernel) SegmentWithCost(x, j int, c float64) float64 {
+	if k.recInf[x] {
+		return math.Inf(1)
+	}
+	w := k.prefix[j+1] - k.prefix[x]
+	arg := k.model.Lambda * (w + c)
+	if arg > numeric.MaxExpArg {
+		return math.Inf(1)
+	}
+	return k.amp[x] * math.Expm1(arg)
+}
+
+// Bound returns a lower bound (up to Slack) on Segment(x, k) for every
+// k ≥ j: the segment term evaluated at the suffix minimum of the end
+// table. See the pruning notes on SegmentKernel.
+func (k *SegmentKernel) Bound(x, j int) float64 {
+	return k.Segment(x, int(k.sufMin[j]))
+}
+
+// Slack is the multiplicative safety factor for pruning comparisons:
+// stop scanning only once Bound(x, j) ≥ best·Slack(). It covers the
+// kernel's worst-case relative error with ample headroom, so pruning
+// never discards a candidate that could strictly improve the incumbent.
+func (k *SegmentKernel) Slack() float64 { return k.slack }

@@ -18,12 +18,17 @@ func init() {
 	}, planE7)
 }
 
-// E7 is the one experiment whose tables contain wall-clock measurements.
-// Its timing cells (and the notes derived from them) are marked volatile:
-// they are excluded from the determinism contract, since concurrent
-// workers legitimately perturb wall-clock readings. Everything else in
-// the tables (expectations, checkpoint counts, value-equality flags)
-// still reproduces bit-for-bit.
+// E7's tables contain wall-clock measurements (as do E13's). Its timing
+// cells (and the notes derived from them) are marked volatile: they are
+// excluded from the determinism contract, since concurrent workers
+// legitimately perturb wall-clock readings. Everything else in the
+// tables (expectations, checkpoint counts, value-equality flags) still
+// reproduces bit-for-bit.
+//
+// E7 checks the complexity stated by Proposition 3, so it times the
+// dense Algorithm 1 scan (SolveChainDPDense), which evaluates all
+// n(n+1)/2 transitions; the production solver's kernel fast path is
+// near-linear on these instances and is measured separately in E13.
 func planE7(cfg Config) (*Plan, error) {
 	sizes := []int{128, 256, 512, 1024, 2048}
 	reps := 5
@@ -59,7 +64,7 @@ func planE7(cfg Config) (*Plan, error) {
 			var res core.ChainResult
 			for rep := 0; rep < reps; rep++ {
 				start := time.Now()
-				res, err = core.SolveChainDP(cp)
+				res, err = core.SolveChainDPDense(cp)
 				el := time.Since(start)
 				if err != nil {
 					return RowOut{}, err
@@ -106,7 +111,7 @@ func planE7(cfg Config) (*Plan, error) {
 				return RowOut{}, err
 			}
 			startG := time.Now()
-			general, err := core.SolveChainDP(cp)
+			general, err := core.SolveChainDPDense(cp)
 			if err != nil {
 				return RowOut{}, err
 			}

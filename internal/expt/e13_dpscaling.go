@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expectation"
+	"repro/internal/expt/result"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Info{
+		ID:    "E13",
+		Title: "DP scaling: segment-expectation kernel + exact pruning vs the dense O(n²) scan",
+		Claim: "the kernel fast path returns the Proposition 3 optimum while evaluating a vanishing fraction of the n(n+1)/2 transitions, making large-n sweeps feasible",
+	}, planE13)
+}
+
+// E13 measures the solver itself, not the paper's model, so its tables
+// mix deterministic evidence with wall-clock measurements: the
+// value-equality flags, checkpoint counts, and evaluated-transition
+// counts reproduce bit-for-bit from the seed (the pruned scan is exact
+// and deterministic), while the timing and speedup cells are volatile,
+// like E7's.
+func planE13(cfg Config) (*Plan, error) {
+	sizes := []int{100, 1000, 2000, 5000, 10000, 20000}
+	reps := 3
+	if cfg.Quick {
+		sizes = []int{100, 500, 2000}
+		reps = 1
+	}
+	p := &Plan{}
+	t := p.AddTable(&result.Table{
+		ID:      "E13",
+		Title:   "kernel-on vs kernel-off chain DP (λ=0.01, w∈[1,10]; best of repetitions)",
+		Columns: []string{"n", "t_dense", "t_kernel", "speedup", "transitions", "dense_frac", "values_equal", "ckpts"},
+	})
+	for _, n := range sizes {
+		n := n
+		p.Job(t, func(s *rng.Stream) (RowOut, error) {
+			m, err := expectation.NewModel(0.01, 0.5)
+			if err != nil {
+				return RowOut{}, err
+			}
+			g, err := dag.Chain(n, dag.DefaultWeights(), s.Split())
+			if err != nil {
+				return RowOut{}, err
+			}
+			cp, _, err := core.NewChainProblem(g, m, 0)
+			if err != nil {
+				return RowOut{}, err
+			}
+			var tDense, tKernel time.Duration
+			var dense, kernel core.ChainResult
+			var stats core.DPStats
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				dense, err = core.SolveChainDPDense(cp)
+				el := time.Since(start)
+				if err != nil {
+					return RowOut{}, err
+				}
+				if rep == 0 || el < tDense {
+					tDense = el
+				}
+				start = time.Now()
+				kernel, stats, err = core.SolveChainDPStats(cp)
+				el = time.Since(start)
+				if err != nil {
+					return RowOut{}, err
+				}
+				if rep == 0 || el < tKernel {
+					tKernel = el
+				}
+			}
+			equal := numeric.RelErr(kernel.Expected, dense.Expected) < 1e-9
+			denseTransitions := int64(n) * int64(n+1) / 2
+			frac := float64(stats.Transitions) / float64(denseTransitions)
+			return RowOut{
+				Cells: []result.Cell{
+					result.Int(n), result.Dur(tDense), result.Dur(tKernel),
+					result.FixedUnit(float64(tDense)/float64(tKernel), 1, "x").AsVolatile(),
+					result.Int(int(stats.Transitions)), result.Fixed(frac, 4),
+					result.Bool(equal), result.Int(len(kernel.Positions())),
+				},
+				Value: equal,
+			}, nil
+		})
+	}
+
+	p.Finish = func(tables []*result.Table, outs []RowOut) error {
+		allEqual := true
+		for j, job := range p.Jobs {
+			if job.Table == t {
+				allEqual = allEqual && outs[j].Value.(bool)
+			}
+		}
+		tables[t].AddNote("kernel optimum equals the dense optimum on every size → %s", yn(allEqual))
+		tables[t].AddNote("transitions and dense_frac are deterministic: pruning is exact, so the scan shape depends only on the instance")
+		tables[t].AddNote("the dense arm is the seed Algorithm 1 loop (one exp + one expm1 per transition); the kernel arm fuses precomputed exponential tables and stops each row at the exact monotone bound")
+		return nil
+	}
+	return p, nil
+}

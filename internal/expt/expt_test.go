@@ -27,8 +27,8 @@ func parseID(id string) (int, bool) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := expt.All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
 	}
 	for i, s := range all {
 		info := s.Info()
@@ -53,7 +53,7 @@ func TestByID(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := expt.IDs()
-	if len(ids) != 12 || ids[0] != "E1" || ids[11] != "E12" {
+	if len(ids) != 13 || ids[0] != "E1" || ids[12] != "E13" {
 		t.Errorf("IDs() = %v", ids)
 	}
 }

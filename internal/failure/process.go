@@ -57,6 +57,17 @@ type Process interface {
 	Rate() float64
 }
 
+// Resettable is implemented by processes that can re-initialize
+// themselves for a fresh, independent run, drawing any new randomness
+// from their original stream. A Reset consumes exactly the random
+// variates the corresponding constructor would, so a Monte-Carlo
+// campaign that resets one process per run is sample-for-sample
+// identical to one constructing a fresh process per run — while
+// allocating nothing in its steady state (see sim.MonteCarlo).
+type Resettable interface {
+	Reset()
+}
+
 // ExponentialProcess is the memoryless platform process of the core model:
 // platform failures are Exp(λ) with λ = p·λproc.
 type ExponentialProcess struct {
@@ -92,6 +103,9 @@ func (p *ExponentialProcess) Advance(dt float64) {
 
 // Rate returns λ.
 func (p *ExponentialProcess) Rate() float64 { return p.lambda }
+
+// Reset redraws the failure clock, exactly as construction does.
+func (p *ExponentialProcess) Reset() { p.next = p.draw() }
 
 // SuperposedProcess superposes p independent per-processor distributions:
 // the platform fails when any processor fails. It tracks each processor's
@@ -175,6 +189,13 @@ func (sp *SuperposedProcess) Rate() float64 {
 	return 0
 }
 
+// Reset resamples every processor clock, exactly as construction does.
+func (sp *SuperposedProcess) Reset() {
+	for i := range sp.remain {
+		sp.remain[i] = sp.dist.Sample(sp.r)
+	}
+}
+
 // Ages returns, for laws where it matters, the elapsed life of each
 // processor clock expressed as time-to-failure remaining. Exposed for
 // white-box tests.
@@ -228,8 +249,17 @@ func (t *TraceProcess) Advance(dt float64) {
 // Rate returns 0: a trace has no constant rate.
 func (t *TraceProcess) Rate() float64 { return 0 }
 
+// Reset rewinds the trace to its first gap.
+func (t *TraceProcess) Reset() {
+	t.pos = 0
+	t.next = t.gaps[0]
+}
+
 var (
-	_ Process = (*ExponentialProcess)(nil)
-	_ Process = (*SuperposedProcess)(nil)
-	_ Process = (*TraceProcess)(nil)
+	_ Process    = (*ExponentialProcess)(nil)
+	_ Process    = (*SuperposedProcess)(nil)
+	_ Process    = (*TraceProcess)(nil)
+	_ Resettable = (*ExponentialProcess)(nil)
+	_ Resettable = (*SuperposedProcess)(nil)
+	_ Resettable = (*TraceProcess)(nil)
 )

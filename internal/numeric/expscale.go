@@ -1,0 +1,109 @@
+package numeric
+
+import "math"
+
+// This file implements the scaled-exponential representation used by the
+// segment-expectation kernel (internal/expectation): e^x is carried as a
+// (frac, exp) pair with e^x = frac·2^exp and frac ∈ [1, 2), so products of
+// exponentials reduce to one float multiply plus integer exponent
+// addition — no overflow, no underflow, and no transcendental call at
+// combination time.
+
+// Cody–Waite split of ln 2, as used by the libm exp reduction: Ln2Hi
+// carries the high bits with enough trailing zeros that k·Ln2Hi is exact
+// for |k| < 2^20, and Ln2Lo carries the remainder.
+const (
+	ln2Hi  = 6.93147180369123816490e-01
+	ln2Lo  = 1.90821492927058770002e-10
+	invLn2 = 1.44269504088896338700e+00
+)
+
+// expScaledCap bounds the argument reduction: beyond |x| ≥ expScaledCap
+// the exact exponent no longer matters (e^x is beyond ±2^(2^29), i.e.
+// astronomically past every float64), so ExpScaled clamps to a sentinel
+// pair with exponent ±ExpScaledSatExp.
+const expScaledCap = float64(1<<29) * 0.6931471805599453
+
+// ExpScaledSatExp is the sentinel exponent of a saturated ExpScaled
+// pair (|x| ≥ ~3.7e8). It exceeds every exponent a non-saturated pair
+// can carry (at most ~2^29·ln2/ln2 + 1 < 2^30), so callers can detect
+// saturation by comparing exponents against ±ExpScaledSatExp.
+//
+// Saturated pairs order and saturate correctly on their own, but the
+// clamp discards the argument's exact magnitude: combining TWO
+// saturated pairs of opposite sign cancels their sentinel exponents and
+// yields garbage. Callers pairing exponentials that can both saturate
+// must detect that case and fall back to evaluating the difference
+// directly (see expectation.SegmentKernel).
+const ExpScaledSatExp = 1 << 30
+
+// ExpScaled returns (frac, exp) with e^x = frac·2^exp and frac ∈ [1, 2),
+// for any finite x — the pair never overflows or underflows. Combine
+// pairs with LdexpProduct.
+//
+// Accuracy: the reduction r = x − k·ln2 uses the Cody–Waite split, so the
+// result is within ~2 ulps of e^x for |x| ≤ 2^20·ln2 ≈ 7.3e5; beyond
+// that the rounding of k·ln2Hi grows the relative error linearly in |x|
+// (about |x|·2^-52). Callers that prune on compared pairs must widen
+// their slack accordingly (see expectation.SegmentKernel).
+//
+// Special cases: ExpScaled(NaN) = (NaN, 0), ExpScaled(+Inf) = (+Inf, 0),
+// ExpScaled(−Inf) = (0, 0).
+func ExpScaled(x float64) (float64, int) {
+	switch {
+	case math.IsNaN(x):
+		return math.NaN(), 0
+	case math.IsInf(x, 1):
+		return math.Inf(1), 0
+	case math.IsInf(x, -1):
+		return 0, 0
+	case x > expScaledCap:
+		return 1, ExpScaledSatExp
+	case x < -expScaledCap:
+		return 1, -ExpScaledSatExp
+	}
+	k := math.Round(x * invLn2)
+	r := (x - k*ln2Hi) - k*ln2Lo
+	m := math.Exp(r) // r ∈ [−ln2/2, ln2/2] (plus reduction slop) → m near 1
+	frac, e := math.Frexp(m)
+	return frac * 2, int(k) + e - 1
+}
+
+// ldexpMax is the largest combined exponent a finite float64 product of
+// two in-range fractions (frac ∈ [1,2), product ∈ [1,4)) can carry.
+const ldexpMax = 1023
+
+// pow2 holds 2^e for e ∈ [ldexpMin, ldexpMax]; LdexpProduct is a table
+// lookup plus one multiply, an order of magnitude cheaper than math.Ldexp
+// in the DP inner loop.
+const ldexpMin = -1080
+
+var pow2 [ldexpMax - ldexpMin + 1]float64
+
+func init() {
+	for e := range pow2 {
+		pow2[e] = math.Ldexp(1, e+ldexpMin)
+	}
+}
+
+// LdexpProduct returns frac·2^exp, where frac is the product of two
+// ExpScaled fractions (so frac ∈ [1, 4), or a special value) and exp the
+// sum of their exponents. Out-of-range exponents saturate to +Inf / 0,
+// matching the true magnitude of the represented exponential. Scaling by
+// an in-range power of two is exact (no rounding), so ordering of
+// represented values is preserved bit-for-bit.
+func LdexpProduct(frac float64, exp int) float64 {
+	if exp > ldexpMax {
+		if frac == 0 || math.IsNaN(frac) {
+			return frac * math.Inf(1)
+		}
+		return math.Inf(1)
+	}
+	if exp < ldexpMin {
+		if math.IsInf(frac, 1) || math.IsNaN(frac) {
+			return frac * 0
+		}
+		return 0
+	}
+	return frac * pow2[exp-ldexpMin]
+}

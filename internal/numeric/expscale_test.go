@@ -1,0 +1,77 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpScaledMatchesExp(t *testing.T) {
+	// Across the representable range of math.Exp, the scaled pair must
+	// reconstruct e^x to ~ulp accuracy.
+	for x := -700.0; x <= 700; x += 0.37 {
+		frac, exp := ExpScaled(x)
+		if frac < 1 || frac >= 2 {
+			t.Fatalf("ExpScaled(%v) frac = %v out of [1,2)", x, frac)
+		}
+		got := math.Ldexp(frac, exp)
+		want := math.Exp(x)
+		if RelErr(got, want) > 1e-14 {
+			t.Fatalf("ExpScaled(%v) = %v·2^%d = %v, want %v (rel %v)", x, frac, exp, got, want, RelErr(got, want))
+		}
+	}
+}
+
+func TestExpScaledBeyondOverflow(t *testing.T) {
+	// Above the exp overflow threshold the pair still represents the
+	// value: combining with a matching negative argument recovers the
+	// ratio exactly where math.Exp alone would return +Inf.
+	for _, d := range []float64{0, 0.5, 3, 100, 700} {
+		hi := 5000.0
+		fh, eh := ExpScaled(hi + d)
+		fl, el := ExpScaled(-hi)
+		got := LdexpProduct(fh*fl, eh+el)
+		want := math.Exp(d)
+		if RelErr(got, want) > 1e-12 {
+			t.Fatalf("exp(%v) via scaled pair = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestExpScaledSpecials(t *testing.T) {
+	if f, _ := ExpScaled(math.NaN()); !math.IsNaN(f) {
+		t.Errorf("ExpScaled(NaN) frac = %v", f)
+	}
+	if f, _ := ExpScaled(math.Inf(1)); !math.IsInf(f, 1) {
+		t.Errorf("ExpScaled(+Inf) frac = %v", f)
+	}
+	if f, _ := ExpScaled(math.Inf(-1)); f != 0 {
+		t.Errorf("ExpScaled(-Inf) frac = %v", f)
+	}
+	// The cap sentinel keeps huge arguments ordered and combinable.
+	f, e := ExpScaled(1e12)
+	if LdexpProduct(f, e) != math.Inf(1) {
+		t.Errorf("huge argument should saturate to +Inf, got %v·2^%d", f, e)
+	}
+	f, e = ExpScaled(-1e12)
+	if LdexpProduct(f, e) != 0 {
+		t.Errorf("huge negative argument should saturate to 0, got %v·2^%d", f, e)
+	}
+}
+
+func TestLdexpProductSaturation(t *testing.T) {
+	if got := LdexpProduct(1.5, 2000); !math.IsInf(got, 1) {
+		t.Errorf("overflow exponent: got %v", got)
+	}
+	if got := LdexpProduct(1.5, -2000); got != 0 {
+		t.Errorf("underflow exponent: got %v", got)
+	}
+	if got := LdexpProduct(1.5, 3); got != 12 {
+		t.Errorf("LdexpProduct(1.5, 3) = %v, want 12", got)
+	}
+	// Power-of-two scaling is exact: reconstruction equals math.Ldexp.
+	for e := -1080; e <= 1023; e += 7 {
+		if got, want := LdexpProduct(1.75, e), math.Ldexp(1.75, e); got != want {
+			t.Fatalf("LdexpProduct(1.75, %d) = %v, want %v", e, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expectation"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func steadyStateFixture(t testing.TB) ([]core.Segment, *core.ChainProblem) {
+	t.Helper()
+	m, err := expectation.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &core.ChainProblem{
+		Weights: make([]float64, 32),
+		Ckpt:    make([]float64, 32),
+		Rec:     make([]float64, 32),
+		Model:   m,
+	}
+	r := rng.New(9)
+	for i := range cp.Weights {
+		cp.Weights[i] = r.Range(1, 8)
+		cp.Ckpt[i] = r.Range(0.1, 0.5)
+		cp.Rec[i] = r.Range(0.1, 0.5)
+	}
+	res, err := core.SolveChainDP(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := cp.Segments(res.CheckpointAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs, cp
+}
+
+// TestRunSteadyStateAllocs pins the acceptance bar for the Monte-Carlo
+// hot loop: one simulated run with a reused resettable process and a
+// caller-owned segments slice allocates nothing.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	segs, _ := steadyStateFixture(t)
+	proc := failure.NewExponentialProcess(0.05, rng.New(10))
+	opts := sim.Options{Downtime: 0.5}
+	allocs := testing.AllocsPerRun(200, func() {
+		proc.Reset()
+		if _, err := sim.Run(segs, proc, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state run loop allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestResetMatchesFreshProcess pins the determinism contract of
+// failure.Resettable: a campaign that resets one process per run must be
+// sample-for-sample identical to one constructing a fresh process per
+// run from the same stream.
+func TestResetMatchesFreshProcess(t *testing.T) {
+	segs, cp := steadyStateFixture(t)
+	factory := sim.ExponentialFactory(cp.Model.Lambda)
+	opts := sim.Options{Downtime: cp.Model.Downtime}
+	const runs = 500
+
+	fresh := rng.New(42)
+	var freshMakespans []float64
+	for i := 0; i < runs; i++ {
+		rs, err := sim.Run(segs, factory(fresh), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshMakespans = append(freshMakespans, rs.Makespan)
+	}
+
+	reused := rng.New(42)
+	proc := factory(reused)
+	for i := 0; i < runs; i++ {
+		if i > 0 {
+			proc.(failure.Resettable).Reset()
+		}
+		rs, err := sim.Run(segs, proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Makespan != freshMakespans[i] {
+			t.Fatalf("run %d: reused process makespan %v, fresh %v", i, rs.Makespan, freshMakespans[i])
+		}
+	}
+}

@@ -232,13 +232,20 @@ func onlineFailure(cp *core.ChainProblem, segStart int, rs *RunStats, proc failu
 }
 
 // MonteCarloOnline runs RunOnline many times and summarizes makespans.
+// Like MonteCarlo, it reuses one resettable process across runs, so the
+// per-run loop allocates nothing in its steady state.
 func MonteCarloOnline(cp *core.ChainProblem, policy Policy, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (stats.Summary, error) {
 	if runs <= 0 {
 		return stats.Summary{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
 	}
 	var s stats.Summary
+	var proc failure.Process
 	for i := 0; i < runs; i++ {
-		proc := factory(seed)
+		if res, ok := proc.(failure.Resettable); ok {
+			res.Reset()
+		} else {
+			proc = factory(seed)
+		}
 		rs, err := RunOnline(cp, policy, proc, opts)
 		if err != nil {
 			return stats.Summary{}, err

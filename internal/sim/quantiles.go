@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -23,15 +24,22 @@ type MakespanDistribution struct {
 
 // EstimateMakespanDistribution simulates the segments and returns the
 // distribution of makespans (quantiles require retaining samples, so
-// memory is O(runs)).
+// memory is O(runs)). Like MonteCarlo, it reuses one resettable process
+// across runs, so beyond the retained samples the run loop is
+// allocation-free.
 func EstimateMakespanDistribution(segments []core.Segment, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (MakespanDistribution, error) {
 	if runs <= 0 {
 		return MakespanDistribution{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
 	}
 	samples := make([]float64, 0, runs)
 	var out MakespanDistribution
+	var proc failure.Process
 	for i := 0; i < runs; i++ {
-		proc := factory(seed)
+		if res, ok := proc.(failure.Resettable); ok {
+			res.Reset()
+		} else {
+			proc = factory(seed)
+		}
 		rs, err := Run(segments, proc, opts)
 		if err != nil {
 			return MakespanDistribution{}, err

@@ -120,8 +120,15 @@ func Run(segments []core.Segment, proc failure.Process, opts Options) (RunStats,
 	return rs, nil
 }
 
-// ProcessFactory builds a fresh failure process for one run, drawing its
-// randomness from the supplied stream.
+// ProcessFactory builds a failure process, drawing its randomness from
+// the supplied stream. The Monte-Carlo campaigns call a factory once
+// per worker and, when the returned process implements
+// failure.Resettable (all built-in processes do), obtain per-run
+// freshness by calling Reset() between runs rather than re-invoking the
+// factory. Custom factories whose processes must differ structurally
+// per run (not just re-draw their clocks) should return a process that
+// does NOT implement Resettable; the campaigns then fall back to one
+// factory call per run.
 type ProcessFactory func(r *rng.Stream) failure.Process
 
 // ExponentialFactory returns a factory for the paper's core model: a
@@ -161,6 +168,14 @@ type MCResult struct {
 // distributed over worker goroutines, each with an independent split of
 // the seed stream, so results are deterministic for a given seed
 // regardless of scheduling.
+//
+// The per-run loop is allocation-free in its steady state: each worker
+// builds one process from the factory and, when the process implements
+// failure.Resettable (all built-in processes do), re-initializes it per
+// run instead of constructing a fresh one. A Reset draws exactly the
+// variates construction would, so campaigns are sample-for-sample
+// identical either way; Run itself works in value-typed RunStats and
+// the caller-owned segments slice, allocating nothing.
 func MonteCarlo(segments []core.Segment, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (MCResult, error) {
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
@@ -191,8 +206,13 @@ func MonteCarlo(segments []core.Segment, factory ProcessFactory, opts Options, r
 			defer wg.Done()
 			r := streams[w]
 			var acc MCResult
+			var proc failure.Process
 			for i := 0; i < count; i++ {
-				proc := factory(r)
+				if res, ok := proc.(failure.Resettable); ok {
+					res.Reset()
+				} else {
+					proc = factory(r)
+				}
 				rs, err := Run(segments, proc, opts)
 				if err != nil {
 					parts[w].err = err
