@@ -5,12 +5,19 @@
 // the artifact the CI bench job uploads, so successive commits leave a
 // comparable ns/op and allocs/op trail.
 //
+// It also emits a second trajectory, BENCH_sim.json, for the Monte-Carlo
+// backbone: scan-vs-heap superposed-platform campaigns at
+// p ∈ {1, 1000, 65536}, common-random-number vs independent comparator
+// campaigns, and streaming (P²) vs sort-based quantile estimation.
+//
 // Usage:
 //
-//	benchtraj                       # write BENCH_chain_dp.json
-//	benchtraj -out results.json     # choose the output path
+//	benchtraj                       # write BENCH_chain_dp.json + BENCH_sim.json
+//	benchtraj -out results.json     # choose the chain-DP output path
+//	benchtraj -simout sim.json      # choose the sim output path ("" skips it)
 //	benchtraj -benchtime 0.2s       # shorter measurement per benchmark
 //	benchtraj -sizes 100,1000       # choose chain lengths
+//	benchtraj -simprocs 1,1000      # choose platform sizes for scan-vs-heap
 package main
 
 import (
@@ -28,9 +35,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/expectation"
+	"repro/internal/expt"
 	"repro/internal/failure"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Measurement is one benchmark's recorded trajectory point.
@@ -60,20 +69,33 @@ func run(args []string, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		out       = fs.String("out", "BENCH_chain_dp.json", "output JSON path")
+		simOut    = fs.String("simout", "BENCH_sim.json", "Monte-Carlo backbone output JSON path (empty to skip)")
 		benchtime = fs.Duration("benchtime", 500*time.Millisecond, "target measurement time per benchmark")
 		sizesFlag = fs.String("sizes", "100,1000,5000", "comma-separated chain lengths")
+		procsFlag = fs.String("simprocs", "1,1000,65536", "comma-separated platform sizes for scan-vs-heap campaigns")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	var sizes []int
-	for _, s := range strings.Split(*sizesFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			fmt.Fprintf(stderr, "benchtraj: bad size %q\n", s)
-			return 2
+	parseInts := func(flagVal, what string) ([]int, bool) {
+		var vals []int
+		for _, s := range strings.Split(flagVal, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(stderr, "benchtraj: bad %s %q\n", what, s)
+				return nil, false
+			}
+			vals = append(vals, n)
 		}
-		sizes = append(sizes, n)
+		return vals, true
+	}
+	sizes, ok := parseInts(*sizesFlag, "size")
+	if !ok {
+		return 2
+	}
+	procs, ok := parseInts(*procsFlag, "platform size")
+	if !ok {
+		return 2
 	}
 	// testing.Benchmark sizes its runs from the -test.benchtime flag;
 	// register the testing flags and set it to our budget.
@@ -87,10 +109,29 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
 		return 1
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := writeReport(*out, report, stderr); err != nil {
 		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
 		return 1
+	}
+	if *simOut != "" {
+		simReport, err := measureSim(procs)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+		if err := writeReport(*simOut, simReport, stderr); err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeReport writes one trajectory document and echoes its measurements.
+func writeReport(path string, report *Report, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -99,14 +140,13 @@ func run(args []string, stderr io.Writer) int {
 		err = cerr
 	}
 	if err != nil {
-		fmt.Fprintf(stderr, "benchtraj: write %s: %v\n", *out, err)
-		return 1
+		return fmt.Errorf("write %s: %w", path, err)
 	}
 	for _, m := range report.Results {
-		fmt.Fprintf(stderr, "%-28s %12.0f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+		fmt.Fprintf(stderr, "%-32s %12.0f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
 	}
-	fmt.Fprintf(stderr, "benchtraj: wrote %d measurements to %s\n", len(report.Results), *out)
-	return 0
+	fmt.Fprintf(stderr, "benchtraj: wrote %d measurements to %s\n", len(report.Results), path)
+	return nil
 }
 
 func measure(sizes []int) (*Report, error) {
@@ -208,4 +248,135 @@ func simSteadyState() (testing.BenchmarkResult, error) {
 			}
 		}
 	}), nil
+}
+
+// measureSim builds the Monte-Carlo backbone trajectory (BENCH_sim.json):
+// scan-vs-heap superposed-platform campaign runs, CRN-vs-independent
+// comparator campaigns, and streaming-vs-sort quantile estimation.
+func measureSim(procSizes []int) (*Report, error) {
+	report := &Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Unix:      time.Now().Unix(),
+	}
+	record := func(name string, n int, r testing.BenchmarkResult) {
+		report.Results = append(report.Results, Measurement{
+			Name:        name,
+			N:           n,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	// Scan vs heap: one op = one campaign run (reset + full simulation of
+	// a 512-segment plan) on a platform of p processors with constant
+	// platform-level MTBF — the E14 configuration, shared via the expt
+	// helpers so the trajectory always measures the workload the
+	// experiment reports on. The scan pays two O(p) passes per segment;
+	// the heap leaves the O(p) reset as the only platform-size term.
+	const platformMTBF = expt.E14PlatformMTBF
+	segs := expt.E14Segments()
+	opts := sim.Options{Downtime: 0.5}
+	benchProcess := func(proc interface {
+		failure.Process
+		failure.Resettable
+	}) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				proc.Reset()
+				if _, err := sim.Run(segs, proc, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, p := range procSizes {
+		e, err := failure.NewExponential(1 / (platformMTBF * float64(p)))
+		if err != nil {
+			return nil, err
+		}
+		scan, err := failure.NewScanProcess(e, p, failure.RejuvenateFailedOnly, rng.New(7))
+		if err != nil {
+			return nil, err
+		}
+		record(fmt.Sprintf("superposed_campaign_scan/p=%d", p), p, benchProcess(scan))
+		heap, err := failure.NewSuperposedProcess(e, p, failure.RejuvenateFailedOnly, rng.New(7))
+		if err != nil {
+			return nil, err
+		}
+		record(fmt.Sprintf("superposed_campaign_heap/p=%d", p), p, benchProcess(heap))
+	}
+
+	// CRN vs independent comparator campaigns: one op = comparing two
+	// placements over 200 replications on a 1000-processor Weibull
+	// platform — once replaying a shared recorded trace per replication,
+	// once resampling per candidate.
+	const (
+		crnProcs = 1000
+		crnRuns  = 200
+	)
+	weib, err := expt.E14WeibullLaw(platformMTBF / 20 * crnProcs)
+	if err != nil {
+		return nil, err
+	}
+	factory := sim.SuperposedFactory(weib, crnProcs, failure.RejuvenateFailedOnly)
+	plans := expt.E14ComparatorPlans()
+	copts := sim.Options{Downtime: 0.5, Workers: 1}
+	record(fmt.Sprintf("campaign_crn/s=%d", len(plans)), crnProcs, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.CampaignPlans(plans, factory, copts, crnRuns, rng.New(9)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record(fmt.Sprintf("campaign_independent/s=%d", len(plans)), crnProcs, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, plan := range plans {
+				if _, err := sim.MonteCarlo(plan, factory, copts, crnRuns, rng.New(9)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}))
+
+	// Streaming vs sort quantiles: one op = four quantiles over a million
+	// samples. The P² path's story is the allocs/op column (O(1) memory
+	// vs an 8 MB copy per estimate).
+	const qn = 1_000_000
+	xs := make([]float64, qn)
+	r := rng.New(11)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	record(fmt.Sprintf("quantiles_sort/n=%d", qn), qn, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qs := stats.Quantiles(xs, 0.5, 0.9, 0.99, 0.999)
+			if qs[0] <= 0 {
+				b.Fatal("degenerate quantile")
+			}
+		}
+	}))
+	record(fmt.Sprintf("quantiles_p2/n=%d", qn), qn, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p50, p90 := stats.NewP2Quantile(0.5), stats.NewP2Quantile(0.9)
+			p99, p999 := stats.NewP2Quantile(0.99), stats.NewP2Quantile(0.999)
+			for _, x := range xs {
+				p50.Add(x)
+				p90.Add(x)
+				p99.Add(x)
+				p999.Add(x)
+			}
+			if p50.Value() <= 0 {
+				b.Fatal("degenerate quantile")
+			}
+		}
+	}))
+	return report, nil
 }

@@ -9,9 +9,12 @@ import (
 )
 
 func TestBenchtrajWritesReport(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench.json")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	simOut := filepath.Join(dir, "bench_sim.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-benchtime", "1ms", "-sizes", "50,100"}, &stderr); code != 0 {
+	if code := run([]string{"-out", out, "-simout", simOut, "-benchtime", "1ms",
+		"-sizes", "50,100", "-simprocs", "1,64"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	data, err := os.ReadFile(out)
@@ -41,6 +44,58 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	} else if m.AllocsPerOp != 0 {
 		t.Errorf("sim steady state allocates %d/op, want 0", m.AllocsPerOp)
 	}
+
+	simData, err := os.ReadFile(simOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simRep Report
+	if err := json.Unmarshal(simData, &simRep); err != nil {
+		t.Fatalf("sim output is not valid JSON: %v", err)
+	}
+	// Scan+heap × two platform sizes + CRN/independent + sort/P².
+	if len(simRep.Results) != 8 {
+		t.Fatalf("got %d sim results, want 8: %+v", len(simRep.Results), simRep.Results)
+	}
+	simByName := map[string]Measurement{}
+	for _, m := range simRep.Results {
+		if m.NsPerOp <= 0 || m.Iterations <= 0 {
+			t.Errorf("%s: empty measurement %+v", m.Name, m)
+		}
+		simByName[m.Name] = m
+	}
+	for _, name := range []string{
+		"superposed_campaign_scan/p=64", "superposed_campaign_heap/p=64",
+		"campaign_crn/s=2", "campaign_independent/s=2",
+		"quantiles_sort/n=1000000", "quantiles_p2/n=1000000",
+	} {
+		if _, ok := simByName[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	// The superposed campaign loops reuse one process: 0 allocs/op, like
+	// the steady-state loop.
+	for _, name := range []string{"superposed_campaign_scan/p=64", "superposed_campaign_heap/p=64"} {
+		if m := simByName[name]; m.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d/op, want 0", name, m.AllocsPerOp)
+		}
+	}
+}
+
+func TestBenchtrajSkipsSimReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var stderr bytes.Buffer
+	if code := run([]string{"-out", out, "-simout", "", "-benchtime", "1ms", "-sizes", "50"}, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("empty -simout must skip the sim trajectory; dir has %d files", len(entries))
+	}
 }
 
 func TestBenchtrajBadFlags(t *testing.T) {
@@ -50,5 +105,8 @@ func TestBenchtrajBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-sizes", "abc"}, &stderr); code != 2 {
 		t.Errorf("bad size: exit %d, want 2", code)
+	}
+	if code := run([]string{"-simprocs", "-3"}, &stderr); code != 2 {
+		t.Errorf("bad simprocs: exit %d, want 2", code)
 	}
 }

@@ -145,7 +145,7 @@ func run(wfPath, law string, lambda, mtbf, shape float64, procs int, downtime fl
 		return fmt.Errorf("unknown law %q", law)
 	}
 
-	mc, err := sim.MonteCarloPlan(cp, res.CheckpointAfter, factory, runs, rng.New(seed))
+	mc, err := sim.MonteCarloPlan(cp, res.CheckpointAfter, factory, sim.Options{}, runs, rng.New(seed))
 	if err != nil {
 		return err
 	}

@@ -36,8 +36,8 @@ func TestIntegrationEngineSuite(t *testing.T) {
 	if err := engine.FirstError(results); err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 13 {
-		t.Fatalf("engine ran %d experiments, want 13", len(results))
+	if len(results) != 14 {
+		t.Fatalf("engine ran %d experiments, want 14", len(results))
 	}
 	var text, csv, jsonBuf bytes.Buffer
 	suites := make([]render.Suite, 0, len(results))
@@ -73,7 +73,7 @@ func TestIntegrationEngineSuite(t *testing.T) {
 	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
 		t.Fatalf("JSON output does not round-trip: %v", err)
 	}
-	if len(decoded) != 13 || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
+	if len(decoded) != 14 || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
 		t.Fatalf("unexpected JSON shape: %d suites", len(decoded))
 	}
 	if len(decoded[0].Tables[0].Rows) == 0 {
@@ -196,7 +196,7 @@ func TestIntegrationReductionPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	mc, err := sim.MonteCarloPlan(cp, plan.CheckpointAfter,
-		sim.ExponentialFactory(ri.Problem.Model.Lambda), 60000, rng.New(12))
+		sim.ExponentialFactory(ri.Problem.Model.Lambda), sim.Options{}, 60000, rng.New(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestIntegrationBoundedBudgetFlow(t *testing.T) {
 		t.Fatalf("budget violated: %d checkpoints", got)
 	}
 	mc, err := sim.MonteCarloPlan(cp, budget3.CheckpointAfter,
-		sim.ExponentialFactory(m.Lambda), 40000, rng.New(20))
+		sim.ExponentialFactory(m.Lambda), sim.Options{}, 40000, rng.New(20))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,7 +91,10 @@ func planE6(cfg Config) (*Plan, error) {
 				if err != nil {
 					return RowOut{}, err
 				}
-				res, err := sim.MonteCarloPlan(cp, dp.CheckpointAfter, sim.ExponentialFactory(lambda), runs, s.Split())
+				// Workers: 1 — this job already runs on the engine's
+				// saturated pool, and a pinned worker count keeps the table
+				// independent of the host's GOMAXPROCS.
+				res, err := sim.MonteCarloPlan(cp, dp.CheckpointAfter, sim.ExponentialFactory(lambda), sim.Options{Workers: 1}, runs, s.Split())
 				if err != nil {
 					return RowOut{}, err
 				}

@@ -1,0 +1,192 @@
+package failure
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// SuperposedProcess superposes p independent per-processor distributions:
+// the platform fails when any processor fails. It tracks each processor's
+// time-to-next-failure, so it is exact for non-memoryless laws.
+//
+// Representation: an indexed min-heap over *absolute* failure times plus a
+// global clock offset. Advancing the platform adds to the offset instead
+// of aging p clocks, so the per-event costs are
+//
+//	NextFailure    O(1)   (peek the heap root)
+//	Advance        O(1)   (bump the clock offset)
+//	ObserveFailure O(log p) under RejuvenateFailedOnly (fix one heap entry)
+//	               O(p)     under RejuvenateAll (every clock is rewritten)
+//	Reset          O(p)     (resample every clock, heapify)
+//
+// versus O(p) for every operation of the ScanProcess reference. The
+// variate draw order is identical to ScanProcess — clocks are sampled in
+// processor-index order at construction/Reset/RejuvenateAll, the failed
+// processor is the unique heap minimum with ties broken toward the lowest
+// processor index (matching the scan's first-strict-minimum selection),
+// and only the failed processor redraws under RejuvenateFailedOnly — so a
+// campaign on either implementation consumes the same stream variates in
+// the same order (pinned by identity_test.go).
+//
+// Determinism note: for p == 1 the clock offset stays zero and Advance
+// subtracts from the single remaining time directly, reproducing the scan
+// arithmetic bit-for-bit (this is the configuration E11's fingerprinted
+// tables simulate). For p > 1 remaining times are computed as
+// absolute − clock, which is mathematically identical but may differ from
+// the scan's repeated subtraction in the last ulp; the variate sequence is
+// still identical whenever both implementations see the same call
+// schedule.
+type SuperposedProcess struct {
+	dist   Distribution
+	policy RejuvenationPolicy
+	r      *rng.Stream
+	clock  float64   // process time elapsed since the last rebase
+	abs    []float64 // absolute failure time per processor (remaining when p == 1)
+	heap   []int32   // heap slot → processor index; empty when p == 1
+}
+
+// NewSuperposedProcess creates a platform of n processors whose individual
+// inter-failure times follow dist.
+func NewSuperposedProcess(dist Distribution, n int, policy RejuvenationPolicy, r *rng.Stream) (*SuperposedProcess, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("failure: processor count must be positive, got %d", n)
+	}
+	sp := &SuperposedProcess{dist: dist, policy: policy, r: r, abs: make([]float64, n)}
+	if n > 1 {
+		sp.heap = make([]int32, n)
+	}
+	sp.Reset()
+	return sp, nil
+}
+
+// less orders processors by (absolute failure time, processor index). The
+// index tie-break reproduces the scan reference's lowest-index selection
+// among simultaneous failures, which keeps the variate draw order
+// identical under ties (e.g. the pinned-at-zero processors of the
+// failed-only policy).
+func (sp *SuperposedProcess) less(a, b int32) bool {
+	return sp.abs[a] < sp.abs[b] || (sp.abs[a] == sp.abs[b] && a < b)
+}
+
+// heapify rebuilds the heap from scratch (Floyd's O(p) construction).
+func (sp *SuperposedProcess) heapify() {
+	if len(sp.heap) == 0 {
+		return
+	}
+	for i := range sp.heap {
+		sp.heap[i] = int32(i)
+	}
+	for i := len(sp.heap)/2 - 1; i >= 0; i-- {
+		sp.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below slot i.
+func (sp *SuperposedProcess) siftDown(i int) {
+	n := len(sp.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && sp.less(sp.heap[r], sp.heap[l]) {
+			small = r
+		}
+		if !sp.less(sp.heap[small], sp.heap[i]) {
+			return
+		}
+		sp.heap[i], sp.heap[small] = sp.heap[small], sp.heap[i]
+		i = small
+	}
+}
+
+// NextFailure returns the minimum residual clock over processors: the heap
+// root's absolute time minus the clock offset. O(1).
+func (sp *SuperposedProcess) NextFailure() float64 {
+	if len(sp.heap) == 0 {
+		return sp.abs[0]
+	}
+	return sp.abs[sp.heap[0]] - sp.clock
+}
+
+// ObserveFailure advances the platform to the failure instant, then
+// rejuvenates according to the policy: O(log p) for failed-only (one heap
+// fix-up), O(p) for rejuvenate-all (every clock is rewritten anyway).
+func (sp *SuperposedProcess) ObserveFailure() {
+	if len(sp.heap) == 0 {
+		sp.abs[0] = sp.dist.Sample(sp.r)
+		return
+	}
+	top := sp.heap[0]
+	if t := sp.abs[top]; t > sp.clock {
+		// Setting clock = abs[top] (rather than adding the residual) keeps
+		// processors tied at the failure instant at exactly zero remaining
+		// time, matching the scan's x − x = 0 pinning.
+		sp.clock = t
+	}
+	if sp.policy == RejuvenateAll {
+		// Every clock is rewritten, so rebase the offset to zero and
+		// rebuild the heap wholesale; samples are drawn in index order,
+		// like the scan.
+		sp.clock = 0
+		for i := range sp.abs {
+			sp.abs[i] = sp.dist.Sample(sp.r)
+		}
+		sp.heapify()
+		return
+	}
+	sp.abs[top] = sp.clock + sp.dist.Sample(sp.r)
+	sp.siftDown(0)
+}
+
+// Advance ages the whole platform by dt in O(1), by bumping the clock
+// offset. Per the Process contract dt never exceeds the announced
+// NextFailure, so no clock can be pushed past its failure time.
+func (sp *SuperposedProcess) Advance(dt float64) {
+	if len(sp.heap) == 0 {
+		// Single processor: subtract directly so the arithmetic matches
+		// the scan reference bit-for-bit (the clock offset stays zero).
+		sp.abs[0] -= dt
+		if sp.abs[0] < 0 {
+			sp.abs[0] = 0
+		}
+		return
+	}
+	sp.clock += dt
+}
+
+// Rate returns p·λ for Exponential component laws and 0 otherwise.
+func (sp *SuperposedProcess) Rate() float64 {
+	if e, ok := sp.dist.(Exponential); ok {
+		return e.Lambda * float64(len(sp.abs))
+	}
+	return 0
+}
+
+// Reset resamples every processor clock in index order, exactly as
+// construction does, and rebases the clock offset to zero.
+func (sp *SuperposedProcess) Reset() {
+	sp.clock = 0
+	for i := range sp.abs {
+		sp.abs[i] = sp.dist.Sample(sp.r)
+	}
+	sp.heapify()
+}
+
+// Ages returns, for laws where it matters, the elapsed life of each
+// processor clock expressed as time-to-failure remaining. Exposed for
+// white-box tests.
+func (sp *SuperposedProcess) Ages() []float64 {
+	out := make([]float64, len(sp.abs))
+	for i, a := range sp.abs {
+		out[i] = a - sp.clock
+	}
+	return out
+}
+
+var (
+	_ Process    = (*SuperposedProcess)(nil)
+	_ Resettable = (*SuperposedProcess)(nil)
+)

@@ -107,30 +107,39 @@ func (p *ExponentialProcess) Rate() float64 { return p.lambda }
 // Reset redraws the failure clock, exactly as construction does.
 func (p *ExponentialProcess) Reset() { p.next = p.draw() }
 
-// SuperposedProcess superposes p independent per-processor distributions:
-// the platform fails when any processor fails. It tracks each processor's
-// time-to-next-failure, so it is exact for non-memoryless laws.
-type SuperposedProcess struct {
+// ScanProcess is the linear-scan reference implementation of the
+// superposed platform process: it tracks each processor's
+// time-to-next-failure in a flat slice and scans all p entries on every
+// NextFailure/Advance/ObserveFailure. It is exact for non-memoryless laws
+// but O(p) per event, which makes large-platform Monte-Carlo campaigns
+// effectively quadratic in platform size. SuperposedProcess (the
+// production implementation) replaces the scans with an indexed min-heap
+// over absolute failure times; ScanProcess is kept as the semantic
+// reference the heap is pinned against — the sample-identity tests in
+// identity_test.go assert the two draw the same variates in the same
+// order — and as the "before" arm of E14 and cmd/benchtraj.
+type ScanProcess struct {
 	dist   Distribution
 	policy RejuvenationPolicy
 	r      *rng.Stream
 	remain []float64 // per-processor time until its next failure
 }
 
-// NewSuperposedProcess creates a platform of n processors whose individual
-// inter-failure times follow dist.
-func NewSuperposedProcess(dist Distribution, n int, policy RejuvenationPolicy, r *rng.Stream) (*SuperposedProcess, error) {
+// NewScanProcess creates a platform of n processors whose individual
+// inter-failure times follow dist, using the O(p)-per-event scan
+// representation.
+func NewScanProcess(dist Distribution, n int, policy RejuvenationPolicy, r *rng.Stream) (*ScanProcess, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("failure: processor count must be positive, got %d", n)
 	}
-	sp := &SuperposedProcess{dist: dist, policy: policy, r: r, remain: make([]float64, n)}
+	sp := &ScanProcess{dist: dist, policy: policy, r: r, remain: make([]float64, n)}
 	for i := range sp.remain {
 		sp.remain[i] = dist.Sample(r)
 	}
 	return sp, nil
 }
 
-func (sp *SuperposedProcess) minIdx() (int, float64) {
+func (sp *ScanProcess) minIdx() (int, float64) {
 	best, bestV := 0, sp.remain[0]
 	for i, v := range sp.remain[1:] {
 		if v < bestV {
@@ -141,14 +150,14 @@ func (sp *SuperposedProcess) minIdx() (int, float64) {
 }
 
 // NextFailure returns the minimum residual clock over processors.
-func (sp *SuperposedProcess) NextFailure() float64 {
+func (sp *ScanProcess) NextFailure() float64 {
 	_, v := sp.minIdx()
 	return v
 }
 
 // ObserveFailure advances every clock to the failure instant, then
 // rejuvenates according to the policy.
-func (sp *SuperposedProcess) ObserveFailure() {
+func (sp *ScanProcess) ObserveFailure() {
 	idx, v := sp.minIdx()
 	for i := range sp.remain {
 		sp.remain[i] -= v
@@ -172,7 +181,7 @@ func (sp *SuperposedProcess) ObserveFailure() {
 }
 
 // Advance ages every processor clock by dt.
-func (sp *SuperposedProcess) Advance(dt float64) {
+func (sp *ScanProcess) Advance(dt float64) {
 	for i := range sp.remain {
 		sp.remain[i] -= dt
 		if sp.remain[i] < 0 {
@@ -182,7 +191,7 @@ func (sp *SuperposedProcess) Advance(dt float64) {
 }
 
 // Rate returns p·λ for Exponential component laws and 0 otherwise.
-func (sp *SuperposedProcess) Rate() float64 {
+func (sp *ScanProcess) Rate() float64 {
 	if e, ok := sp.dist.(Exponential); ok {
 		return e.Lambda * float64(len(sp.remain))
 	}
@@ -190,7 +199,7 @@ func (sp *SuperposedProcess) Rate() float64 {
 }
 
 // Reset resamples every processor clock, exactly as construction does.
-func (sp *SuperposedProcess) Reset() {
+func (sp *ScanProcess) Reset() {
 	for i := range sp.remain {
 		sp.remain[i] = sp.dist.Sample(sp.r)
 	}
@@ -199,7 +208,7 @@ func (sp *SuperposedProcess) Reset() {
 // Ages returns, for laws where it matters, the elapsed life of each
 // processor clock expressed as time-to-failure remaining. Exposed for
 // white-box tests.
-func (sp *SuperposedProcess) Ages() []float64 {
+func (sp *ScanProcess) Ages() []float64 {
 	out := make([]float64, len(sp.remain))
 	copy(out, sp.remain)
 	return out
@@ -257,9 +266,9 @@ func (t *TraceProcess) Reset() {
 
 var (
 	_ Process    = (*ExponentialProcess)(nil)
-	_ Process    = (*SuperposedProcess)(nil)
+	_ Process    = (*ScanProcess)(nil)
 	_ Process    = (*TraceProcess)(nil)
 	_ Resettable = (*ExponentialProcess)(nil)
-	_ Resettable = (*SuperposedProcess)(nil)
+	_ Resettable = (*ScanProcess)(nil)
 	_ Resettable = (*TraceProcess)(nil)
 )

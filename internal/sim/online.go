@@ -232,25 +232,41 @@ func onlineFailure(cp *core.ChainProblem, segStart int, rs *RunStats, proc failu
 }
 
 // MonteCarloOnline runs RunOnline many times and summarizes makespans.
-// Like MonteCarlo, it reuses one resettable process across runs, so the
-// per-run loop allocates nothing in its steady state.
+// Runs fan out over opts.Workers goroutines with per-worker split
+// streams, exactly like MonteCarlo, so results are deterministic for a
+// given (seed, Workers) pair; like MonteCarlo it reuses one resettable
+// process per worker, so the per-run loop allocates nothing in its
+// steady state.
 func MonteCarloOnline(cp *core.ChainProblem, policy Policy, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (stats.Summary, error) {
 	if runs <= 0 {
 		return stats.Summary{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
 	}
-	var s stats.Summary
-	var proc failure.Process
-	for i := 0; i < runs; i++ {
-		if res, ok := proc.(failure.Resettable); ok {
-			res.Reset()
-		} else {
-			proc = factory(seed)
+	workers := opts.workerCount(runs)
+	parts := make([]stats.Summary, workers)
+	err := forWorkers(workers, runs, seed, func(w, count int, r *rng.Stream) error {
+		var s stats.Summary
+		var proc failure.Process
+		for i := 0; i < count; i++ {
+			if res, ok := proc.(failure.Resettable); ok {
+				res.Reset()
+			} else {
+				proc = factory(r)
+			}
+			rs, err := RunOnline(cp, policy, proc, opts)
+			if err != nil {
+				return err
+			}
+			s.Add(rs.Makespan)
 		}
-		rs, err := RunOnline(cp, policy, proc, opts)
-		if err != nil {
-			return stats.Summary{}, err
-		}
-		s.Add(rs.Makespan)
+		parts[w] = s
+		return nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
-	return s, nil
+	var out stats.Summary
+	for _, p := range parts {
+		out.Merge(p)
+	}
+	return out, nil
 }

@@ -148,7 +148,7 @@ func TestVarianceMatchesSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := MonteCarloPlan(cp, res.CheckpointAfter, ExponentialFactory(cp.Model.Lambda), 120000, rng.New(9))
+	mc, err := MonteCarloPlan(cp, res.CheckpointAfter, ExponentialFactory(cp.Model.Lambda), Options{}, 120000, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,58 @@ func TestEstimateMakespanDistribution(t *testing.T) {
 	}
 }
 
+// TestEstimateMakespanDistributionStreamingCrossCheck pins the satellite
+// contract: above the retention threshold the distribution switches to P²
+// streaming quantiles, which consume the identical variate sequence (so
+// the moments match bit-for-bit) and approximate the exact sorted
+// quantiles closely.
+func TestEstimateMakespanDistributionStreamingCrossCheck(t *testing.T) {
+	segs := []core.Segment{{Work: 10, Checkpoint: 1, Recovery: 2}}
+	const runs = 30000
+	exact, err := EstimateMakespanDistribution(segs, ExponentialFactory(0.05), Options{Downtime: 0.5}, runs, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Streamed {
+		t.Fatal("run count below the default retention threshold must use the exact path")
+	}
+	streamed, err := EstimateMakespanDistribution(segs, ExponentialFactory(0.05),
+		Options{Downtime: 0.5, QuantileRetention: -1}, runs, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamed.Streamed {
+		t.Fatal("negative retention must force the streaming path")
+	}
+	// Identical draws → identical moments.
+	if streamed.Summary.Mean() != exact.Summary.Mean() || streamed.Summary.N() != exact.Summary.N() {
+		t.Errorf("streaming path perturbed the sample: mean %v vs %v", streamed.Summary.Mean(), exact.Summary.Mean())
+	}
+	for _, q := range []struct {
+		name         string
+		got, want, p float64
+	}{
+		{"P50", streamed.P50, exact.P50, 0.5},
+		{"P90", streamed.P90, exact.P90, 0.9},
+		{"P99", streamed.P99, exact.P99, 0.99},
+		{"P999", streamed.P999, exact.P999, 0.999},
+	} {
+		tol := 0.02*q.want + 1e-9
+		if math.Abs(q.got-q.want) > tol {
+			t.Errorf("%s: streamed %v vs exact %v (tol %v)", q.name, q.got, q.want, tol)
+		}
+	}
+	// A small explicit threshold flips the path at the boundary.
+	small, err := EstimateMakespanDistribution(segs, ExponentialFactory(0.05),
+		Options{Downtime: 0.5, QuantileRetention: runs}, runs, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Streamed {
+		t.Error("runs == retention must stay exact")
+	}
+}
+
 func TestEstimateMakespanDistributionValidation(t *testing.T) {
 	if _, err := EstimateMakespanDistribution(nil, ExponentialFactory(1), Options{}, 0, rng.New(1)); err == nil {
 		t.Error("zero runs should fail")

@@ -52,6 +52,21 @@ type Options struct {
 	// MaxFailures bounds the failures tolerated in one run (0 means the
 	// default of 10 million).
 	MaxFailures int
+	// Workers is the goroutine count Monte-Carlo campaigns fan out over
+	// (MonteCarlo, MonteCarloOnline, Campaign*); ≤ 0 means
+	// runtime.GOMAXPROCS(0). Callers already running on a saturated
+	// worker pool — the experiment engine's row jobs — pass 1, so nested
+	// campaigns stop oversubscribing the host by GOMAXPROCS². Note the
+	// worker count is part of the sampling schedule: campaigns are
+	// deterministic for a given (seed, Workers) pair, and changing
+	// Workers repartitions runs over per-worker streams.
+	Workers int
+	// QuantileRetention caps the samples EstimateMakespanDistribution
+	// retains for exact sort-based quantiles; campaigns beyond the cap
+	// switch to streaming P² estimates with O(1) memory. 0 means
+	// DefaultQuantileRetention; negative forces streaming regardless of
+	// the run count.
+	QuantileRetention int
 }
 
 func (o Options) maxFailures() int {
@@ -59,6 +74,52 @@ func (o Options) maxFailures() int {
 		return 10_000_000
 	}
 	return o.MaxFailures
+}
+
+// workerCount resolves the campaign fan-out for a given run count.
+func (o Options) workerCount(runs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > runs {
+		w = runs
+	}
+	return w
+}
+
+// forWorkers partitions runs over the workers (first runs%workers workers
+// take one extra), derives one split stream per worker before any
+// goroutine starts (so the split order is deterministic), runs body on
+// each worker's goroutine, and returns the lowest-indexed worker error —
+// a deterministic choice, independent of completion order.
+func forWorkers(workers, runs int, seed *rng.Stream, body func(w, count int, r *rng.Stream) error) error {
+	streams := make([]*rng.Stream, workers)
+	for i := range streams {
+		streams[i] = seed.Split()
+	}
+	errs := make([]error, workers)
+	per := runs / workers
+	extra := runs % workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			errs[w] = body(w, count, streams[w])
+		}(w, count)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run executes the segments in sequence against proc. Each segment is
@@ -140,10 +201,26 @@ func ExponentialFactory(lambda float64) ProcessFactory {
 }
 
 // SuperposedFactory returns a factory for a platform of n processors with
-// the given per-processor law and rejuvenation policy.
+// the given per-processor law and rejuvenation policy, backed by the
+// indexed-heap failure.SuperposedProcess (O(1) Advance/NextFailure,
+// O(log p) ObserveFailure).
 func SuperposedFactory(dist failure.Distribution, n int, policy failure.RejuvenationPolicy) ProcessFactory {
 	return func(r *rng.Stream) failure.Process {
 		sp, err := failure.NewSuperposedProcess(dist, n, policy, r)
+		if err != nil {
+			panic(err) // n validated by callers; see MonteCarlo
+		}
+		return sp
+	}
+}
+
+// ScanFactory is SuperposedFactory backed by the O(p)-per-event
+// failure.ScanProcess reference implementation. It exists for the
+// scan-vs-heap comparisons of E14 and cmd/benchtraj; both factories are
+// sample-identical, so campaigns on either produce the same results.
+func ScanFactory(dist failure.Distribution, n int, policy failure.RejuvenationPolicy) ProcessFactory {
+	return func(r *rng.Stream) failure.Process {
+		sp, err := failure.NewScanProcess(dist, n, policy, r)
 		if err != nil {
 			panic(err) // n validated by callers; see MonteCarlo
 		}
@@ -164,10 +241,34 @@ type MCResult struct {
 	Runs int
 }
 
+// add folds one run's decomposition into the aggregate.
+func (m *MCResult) add(rs RunStats) {
+	m.Makespan.Add(rs.Makespan)
+	m.Failures.Add(float64(rs.Failures))
+	m.Lost.Add(rs.Lost)
+	m.Downtime.Add(rs.Downtime)
+	m.RecoveryTime.Add(rs.RecoveryTime)
+	m.Useful.Add(rs.Useful)
+	m.Runs++
+}
+
+// merge folds another aggregate into this one (worker-order merges keep
+// results deterministic).
+func (m *MCResult) merge(other MCResult) {
+	m.Makespan.Merge(other.Makespan)
+	m.Failures.Merge(other.Failures)
+	m.Lost.Merge(other.Lost)
+	m.Downtime.Merge(other.Downtime)
+	m.RecoveryTime.Merge(other.RecoveryTime)
+	m.Useful.Merge(other.Useful)
+	m.Runs += other.Runs
+}
+
 // MonteCarlo simulates the segments runs times and aggregates. Runs are
-// distributed over worker goroutines, each with an independent split of
-// the seed stream, so results are deterministic for a given seed
-// regardless of scheduling.
+// distributed over opts.Workers goroutines (GOMAXPROCS when unset), each
+// with an independent split of the seed stream, so results are
+// deterministic for a given (seed, Workers) pair regardless of
+// scheduling.
 //
 // The per-run loop is allocation-free in its steady state: each worker
 // builds one process from the factory and, when the process implements
@@ -180,78 +281,45 @@ func MonteCarlo(segments []core.Segment, factory ProcessFactory, opts Options, r
 	if runs <= 0 {
 		return MCResult{}, fmt.Errorf("sim: run count must be positive, got %d", runs)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
-	}
-	type partial struct {
-		res MCResult
-		err error
-	}
-	parts := make([]partial, workers)
-	streams := make([]*rng.Stream, workers)
-	for i := range streams {
-		streams[i] = seed.Split()
-	}
-	var wg sync.WaitGroup
-	per := runs / workers
-	extra := runs % workers
-	for w := 0; w < workers; w++ {
-		count := per
-		if w < extra {
-			count++
-		}
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			r := streams[w]
-			var acc MCResult
-			var proc failure.Process
-			for i := 0; i < count; i++ {
-				if res, ok := proc.(failure.Resettable); ok {
-					res.Reset()
-				} else {
-					proc = factory(r)
-				}
-				rs, err := Run(segments, proc, opts)
-				if err != nil {
-					parts[w].err = err
-					return
-				}
-				acc.Makespan.Add(rs.Makespan)
-				acc.Failures.Add(float64(rs.Failures))
-				acc.Lost.Add(rs.Lost)
-				acc.Downtime.Add(rs.Downtime)
-				acc.RecoveryTime.Add(rs.RecoveryTime)
-				acc.Useful.Add(rs.Useful)
-				acc.Runs++
+	workers := opts.workerCount(runs)
+	parts := make([]MCResult, workers)
+	err := forWorkers(workers, runs, seed, func(w, count int, r *rng.Stream) error {
+		var acc MCResult
+		var proc failure.Process
+		for i := 0; i < count; i++ {
+			if res, ok := proc.(failure.Resettable); ok {
+				res.Reset()
+			} else {
+				proc = factory(r)
 			}
-			parts[w].res = acc
-		}(w, count)
+			rs, err := Run(segments, proc, opts)
+			if err != nil {
+				return err
+			}
+			acc.add(rs)
+		}
+		parts[w] = acc
+		return nil
+	})
+	if err != nil {
+		return MCResult{}, err
 	}
-	wg.Wait()
 	var out MCResult
 	for _, p := range parts {
-		if p.err != nil {
-			return MCResult{}, p.err
-		}
-		out.Makespan.Merge(p.res.Makespan)
-		out.Failures.Merge(p.res.Failures)
-		out.Lost.Merge(p.res.Lost)
-		out.Downtime.Merge(p.res.Downtime)
-		out.RecoveryTime.Merge(p.res.RecoveryTime)
-		out.Useful.Merge(p.res.Useful)
-		out.Runs += p.res.Runs
+		out.merge(p)
 	}
 	return out, nil
 }
 
 // MonteCarloPlan evaluates a chain problem's checkpoint vector by
 // simulation: it splits the problem into segments and runs MonteCarlo.
-func MonteCarloPlan(cp *core.ChainProblem, checkpointAfter []bool, factory ProcessFactory, runs int, seed *rng.Stream) (MCResult, error) {
+// The downtime always comes from the problem's model; the remaining
+// options (Workers, MaxFailures) are honoured as given.
+func MonteCarloPlan(cp *core.ChainProblem, checkpointAfter []bool, factory ProcessFactory, opts Options, runs int, seed *rng.Stream) (MCResult, error) {
 	segs, err := cp.Segments(checkpointAfter)
 	if err != nil {
 		return MCResult{}, err
 	}
-	return MonteCarlo(segs, factory, Options{Downtime: cp.Model.Downtime}, runs, seed)
+	opts.Downtime = cp.Model.Downtime
+	return MonteCarlo(segs, factory, opts, runs, seed)
 }

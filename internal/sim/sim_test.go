@@ -180,7 +180,7 @@ func TestMonteCarloPlanMatchesSegmentSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := MonteCarloPlan(cp, res.CheckpointAfter, ExponentialFactory(m.Lambda), 60000, rng.New(42))
+	mc, err := MonteCarloPlan(cp, res.CheckpointAfter, ExponentialFactory(m.Lambda), Options{}, 60000, rng.New(42))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,3 +64,71 @@ func KSTest(sample []float64, cdf func(float64) float64, alpha float64) (bool, f
 	}
 	return d <= crit, d, nil
 }
+
+// KolmogorovSmirnovTwoSample returns the two-sample KS statistic
+// D = sup_x |F_a(x) − F_b(x)| between the empirical distributions of a
+// and b. It is used where no analytic CDF exists — e.g. checking that a
+// common-random-number campaign's makespan marginals match independent
+// sampling (sim.Campaign).
+func KolmogorovSmirnovTwoSample(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("stats: empty sample (%d, %d)", len(a), len(b))
+	}
+	sa := make([]float64, len(a))
+	copy(sa, a)
+	sort.Float64s(sa)
+	sb := make([]float64, len(b))
+	copy(sb, b)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		// Evaluate both empirical CDFs just past the next distinct value,
+		// consuming every tie at once so duplicates (within or across
+		// samples) do not inflate the statistic.
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// KSTwoSampleCriticalValue returns the asymptotic critical value for the
+// two-sample KS statistic at significance alpha:
+// c(α)·sqrt((n+m)/(n·m)) with c(α) = sqrt(−ln(α/2)/2).
+func KSTwoSampleCriticalValue(n, m int, alpha float64) (float64, error) {
+	if n <= 0 || m <= 0 {
+		return 0, fmt.Errorf("stats: sample sizes must be positive, got %d and %d", n, m)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("stats: significance level must be in (0, 1), got %v", alpha)
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/(float64(n)*float64(m))), nil
+}
+
+// KSTwoSampleTest reports whether the two samples are consistent with one
+// underlying distribution at significance alpha: true means "not
+// rejected".
+func KSTwoSampleTest(a, b []float64, alpha float64) (bool, float64, error) {
+	d, err := KolmogorovSmirnovTwoSample(a, b)
+	if err != nil {
+		return false, 0, err
+	}
+	crit, err := KSTwoSampleCriticalValue(len(a), len(b), alpha)
+	if err != nil {
+		return false, 0, err
+	}
+	return d <= crit, d, nil
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestP2MatchesExactQuantiles cross-checks the streaming estimator
+// against the exact sorted quantiles on heavy- and light-tailed data.
+func TestP2MatchesExactQuantiles(t *testing.T) {
+	const n = 200_000
+	gens := map[string]func(r *rng.Stream) float64{
+		"uniform":     func(r *rng.Stream) float64 { return r.Float64() },
+		"exponential": func(r *rng.Stream) float64 { return r.ExpFloat64() },
+		"lognormal":   func(r *rng.Stream) float64 { return math.Exp(1.5 * r.NormFloat64()) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(31)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = gen(r)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				est := NewP2Quantile(q)
+				for _, x := range xs {
+					est.Add(x)
+				}
+				exact := Quantile(xs, q)
+				got := est.Value()
+				// Tolerance: the P² error is a few multiples of the
+				// sampling error of the order statistic itself; 2% relative
+				// (plus a floor for near-zero quantiles) is comfortable at
+				// this n without being vacuous.
+				tol := 0.02*math.Abs(exact) + 1e-3
+				if math.Abs(got-exact) > tol {
+					t.Errorf("q=%g: P² %v vs exact %v (tol %v)", q, got, exact, tol)
+				}
+				if est.N() != n {
+					t.Errorf("q=%g: N = %d, want %d", q, est.N(), n)
+				}
+			}
+		})
+	}
+}
+
+// TestP2SmallStreams pins the graceful small-n path: fewer than five
+// observations interpolate the buffer exactly.
+func TestP2SmallStreams(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	if !math.IsNaN(p.Value()) {
+		t.Error("empty estimator should return NaN")
+	}
+	p.Add(3)
+	if p.Value() != 3 {
+		t.Errorf("single observation: %v", p.Value())
+	}
+	p.Add(1)
+	if got := p.Value(); got != 2 {
+		t.Errorf("median of {1,3} = %v, want 2", got)
+	}
+	p.Add(2)
+	if got := p.Value(); got != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", got)
+	}
+	if p.Q() != 0.5 {
+		t.Errorf("Q = %v", p.Q())
+	}
+}
+
+// TestP2ExactOnSortedInsertion: with exactly five observations the
+// estimator is the exact interpolated order statistic.
+func TestP2ExactOnSortedInsertion(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		p.Add(x)
+	}
+	if got := p.Value(); got != 3 {
+		t.Errorf("median of 1..5 = %v, want 3", got)
+	}
+}
+
+func TestP2RejectsBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%v should panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	r := rng.New(17)
+	a := make([]float64, 4000)
+	b := make([]float64, 5000)
+	c := make([]float64, 5000)
+	for i := range a {
+		a[i] = r.ExpFloat64()
+	}
+	for i := range b {
+		b[i] = r.ExpFloat64()
+	}
+	for i := range c {
+		c[i] = r.ExpFloat64() * 1.2 // different scale: should be rejected
+	}
+	ok, d, err := KSTwoSampleTest(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("same-law samples rejected (D=%v)", d)
+	}
+	ok, d, err = KSTwoSampleTest(a, c, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("different-scale samples not rejected (D=%v)", d)
+	}
+	if _, err := KolmogorovSmirnovTwoSample(nil, a); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := KSTwoSampleCriticalValue(0, 1, 0.05); err == nil {
+		t.Error("bad sizes should fail")
+	}
+	if _, err := KSTwoSampleCriticalValue(1, 1, 2); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	// The two-sample statistic against a sample of itself is zero.
+	d, err = KolmogorovSmirnovTwoSample(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self-KS = %v, want 0", d)
+	}
+}

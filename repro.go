@@ -110,7 +110,7 @@ func Simulate(g *Graph, m Model, checkpointAfter []bool, runs int, seed uint64) 
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := sim.MonteCarloPlan(cp, checkpointAfter, sim.ExponentialFactory(m.Lambda), runs, rng.New(seed))
+	res, err := sim.MonteCarloPlan(cp, checkpointAfter, sim.ExponentialFactory(m.Lambda), sim.Options{}, runs, rng.New(seed))
 	if err != nil {
 		return 0, 0, err
 	}
