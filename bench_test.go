@@ -63,6 +63,8 @@ func BenchmarkE10Downtime(b *testing.B)         { runExperiment(b, "E10") }
 func BenchmarkE11Weibull(b *testing.B)          { runExperiment(b, "E11") }
 func BenchmarkE12Extensions(b *testing.B)       { runExperiment(b, "E12") }
 func BenchmarkE13DPKernelScaling(b *testing.B)  { runExperiment(b, "E13") }
+func BenchmarkE14MCScaling(b *testing.B)        { runExperiment(b, "E14") }
+func BenchmarkE15LatticeScaling(b *testing.B)   { runExperiment(b, "E15") }
 
 // Engine benchmarks: the full quick-mode suite and the heaviest
 // Monte-Carlo experiment (E11, four simulation campaigns per row) at
@@ -167,6 +169,35 @@ func benchChainDense(b *testing.B, n int) {
 
 func BenchmarkChainDPDense1024(b *testing.B) { benchChainDense(b, 1024) }
 func BenchmarkChainDPDense4096(b *testing.B) { benchChainDense(b, 4096) }
+
+// Exact DAG solver: the downset-lattice DP vs factorial order
+// enumeration on the same in-tree (13 tasks, 34,650 linearizations) —
+// the microbenchmark behind experiment E15 and BENCH_dag.json.
+func benchDAGExact(b *testing.B, lattice bool) {
+	b.Helper()
+	g, err := dag.IntreeFromChains(3, 4, dag.DefaultWeights(), rng.New(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lattice {
+			_, err = core.SolveDAGLattice(g, m, core.LastTaskCosts{}, core.Options{Workers: 1})
+		} else {
+			_, err = core.SolveDAGExhaustive(g, m, core.LastTaskCosts{}, 0)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDAGLattice13(b *testing.B)   { benchDAGExact(b, true) }
+func BenchmarkDAGFactorial13(b *testing.B) { benchDAGExact(b, false) }
 
 // BenchmarkSimRunSteadyState measures one simulated execution in the
 // regime MonteCarlo's worker loop runs in — a reused resettable process

@@ -50,6 +50,9 @@ type Measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// States records the lattice solver's peak stored DP states for the
+	// BENCH_dag points (0 elsewhere).
+	States int64 `json:"states,omitempty"`
 }
 
 // Report is the JSON document benchtraj emits.
@@ -70,9 +73,11 @@ func run(args []string, stderr io.Writer) int {
 	var (
 		out       = fs.String("out", "BENCH_chain_dp.json", "output JSON path")
 		simOut    = fs.String("simout", "BENCH_sim.json", "Monte-Carlo backbone output JSON path (empty to skip)")
+		dagOut    = fs.String("dagout", "BENCH_dag.json", "DAG lattice-vs-factorial output JSON path (empty to skip)")
 		benchtime = fs.Duration("benchtime", 500*time.Millisecond, "target measurement time per benchmark")
 		sizesFlag = fs.String("sizes", "100,1000,5000", "comma-separated chain lengths")
 		procsFlag = fs.String("simprocs", "1,1000,65536", "comma-separated platform sizes for scan-vs-heap campaigns")
+		dagFlag   = fs.String("dagsizes", "8,12,16,20", "comma-separated in-tree sizes for the lattice trajectory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,6 +99,10 @@ func run(args []string, stderr io.Writer) int {
 		return 2
 	}
 	procs, ok := parseInts(*procsFlag, "platform size")
+	if !ok {
+		return 2
+	}
+	dagSizes, ok := parseInts(*dagFlag, "dag size")
 	if !ok {
 		return 2
 	}
@@ -120,6 +129,17 @@ func run(args []string, stderr io.Writer) int {
 			return 1
 		}
 		if err := writeReport(*simOut, simReport, stderr); err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+	}
+	if *dagOut != "" {
+		dagReport, err := measureDag(dagSizes)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+		if err := writeReport(*dagOut, dagReport, stderr); err != nil {
 			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
 			return 1
 		}
@@ -378,5 +398,97 @@ func measureSim(procSizes []int) (*Report, error) {
 			}
 		}
 	}))
+	return report, nil
+}
+
+// measureDag builds the exact-DAG-solver trajectory (BENCH_dag.json):
+// downset-lattice solves vs factorial order enumeration on the E15
+// in-tree workloads (shared via expt.E15Graph, so the trajectory
+// measures the experiment's graphs), plus the linearization portfolio
+// serial vs parallel. The factorial arm only runs where the
+// linear-extension count stays benchmarkable; its absence at larger n
+// *is* the trajectory's story, next to the lattice points that remain
+// a few ms with their peak state counts recorded.
+func measureDag(dagSizes []int) (*Report, error) {
+	report := &Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Unix:      time.Now().Unix(),
+	}
+	record := func(name string, n int, states int64, r testing.BenchmarkResult) {
+		report.Results = append(report.Results, Measurement{
+			Name:        name,
+			N:           n,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			States:      states,
+		})
+	}
+	m, err := expt.E15Model()
+	if err != nil {
+		return nil, err
+	}
+	const factorialBudget = 1e5 // orders beyond this are not benchmarkable
+	for _, n := range dagSizes {
+		g, err := expt.E15Graph("in-tree", n, rng.New(13))
+		if err != nil {
+			return nil, err
+		}
+		lat, err := g.Lattice()
+		if err != nil {
+			return nil, err
+		}
+		orders := lat.CountLinearExtensions()
+		opts := core.Options{Workers: 1}
+		latRes, latStats, err := core.SolveDAGLatticeStats(g, m, core.LastTaskCosts{}, opts)
+		if err != nil {
+			return nil, err
+		}
+		record(fmt.Sprintf("dag_lattice/n=%d", g.Len()), g.Len(), latStats.States,
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.SolveDAGLattice(g, m, core.LastTaskCosts{}, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		if orders <= factorialBudget {
+			record(fmt.Sprintf("dag_factorial/n=%d", g.Len()), g.Len(), 0,
+				testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						ex, err := core.SolveDAGExhaustive(g, m, core.LastTaskCosts{}, 0)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if ex.Expected != latRes.Expected {
+							b.Fatalf("factorial %v ≠ lattice %v", ex.Expected, latRes.Expected)
+						}
+					}
+				}))
+		}
+	}
+
+	// Portfolio serial vs parallel on a wide layered workflow: same
+	// result bit-for-bit, the parallel arm bounded by Options.Workers.
+	pg, err := dag.Layered(10, 20, 0.3, dag.DefaultWeights(), rng.New(14))
+	if err != nil {
+		return nil, err
+	}
+	for _, workers := range []int{1, 4} {
+		opts := core.Options{Workers: workers}
+		record(fmt.Sprintf("dag_portfolio/workers=%d", workers), pg.Len(), 0,
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.SolveDAGWith(pg, m, core.LiveSetCosts{}, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
 	return report, nil
 }

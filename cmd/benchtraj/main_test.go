@@ -12,9 +12,10 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
 	simOut := filepath.Join(dir, "bench_sim.json")
+	dagOut := filepath.Join(dir, "bench_dag.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-simout", simOut, "-benchtime", "1ms",
-		"-sizes", "50,100", "-simprocs", "1,64"}, &stderr); code != 0 {
+	if code := run([]string{"-out", out, "-simout", simOut, "-dagout", dagOut, "-benchtime", "1ms",
+		"-sizes", "50,100", "-simprocs", "1,64", "-dagsizes", "7,10"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	data, err := os.ReadFile(out)
@@ -80,13 +81,45 @@ func TestBenchtrajWritesReport(t *testing.T) {
 			t.Errorf("%s allocates %d/op, want 0", name, m.AllocsPerOp)
 		}
 	}
+
+	dagData, err := os.ReadFile(dagOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dagRep Report
+	if err := json.Unmarshal(dagData, &dagRep); err != nil {
+		t.Fatalf("dag output is not valid JSON: %v", err)
+	}
+	dagByName := map[string]Measurement{}
+	for _, m := range dagRep.Results {
+		if m.NsPerOp <= 0 || m.Iterations <= 0 {
+			t.Errorf("%s: empty measurement %+v", m.Name, m)
+		}
+		dagByName[m.Name] = m
+	}
+	// -dagsizes 7,10 → in-trees of 7 and 10 tasks: lattice + factorial
+	// for both (small order counts), plus the two portfolio arms.
+	for _, name := range []string{
+		"dag_lattice/n=7", "dag_factorial/n=7",
+		"dag_lattice/n=10", "dag_factorial/n=10",
+		"dag_portfolio/workers=1", "dag_portfolio/workers=4",
+	} {
+		if _, ok := dagByName[name]; !ok {
+			t.Errorf("missing %s (have %v)", name, dagRep.Results)
+		}
+	}
+	for _, name := range []string{"dag_lattice/n=7", "dag_lattice/n=10"} {
+		if m := dagByName[name]; m.States <= 0 {
+			t.Errorf("%s records no peak state count", name)
+		}
+	}
 }
 
 func TestBenchtrajSkipsSimReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-simout", "", "-benchtime", "1ms", "-sizes", "50"}, &stderr); code != 0 {
+	if code := run([]string{"-out", out, "-simout", "", "-dagout", "", "-benchtime", "1ms", "-sizes", "50"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	entries, err := os.ReadDir(dir)
@@ -94,7 +127,7 @@ func TestBenchtrajSkipsSimReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(entries) != 1 {
-		t.Errorf("empty -simout must skip the sim trajectory; dir has %d files", len(entries))
+		t.Errorf("empty -simout/-dagout must skip those trajectories; dir has %d files", len(entries))
 	}
 }
 

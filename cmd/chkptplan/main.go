@@ -6,10 +6,14 @@
 //	chkptplan -workflow wf.json -lambda 0.01 -downtime 1
 //	chkptplan -workflow wf.json -lambda 0.01 -livecosts   # live-set cost model
 //	chkptplan -workflow wf.json -lambda 0.01 -baselines   # compare baselines
+//	chkptplan -workflow wf.json -lambda 0.01 -exact       # downset-lattice exact optimum
 //
-// For linear chains the plan is optimal (Proposition 3); for general DAGs
-// the order is chosen by a heuristic portfolio with exact per-order
-// placement (optimal ordering is strongly NP-hard by Proposition 2).
+// For linear chains the plan is optimal (Proposition 3). For general
+// DAGs the default is a heuristic portfolio of linearization strategies
+// with exact per-order placement (optimal ordering is strongly NP-hard
+// by Proposition 2); -exact instead runs the downset-lattice DP, which
+// returns the globally optimal order-plus-placement for graphs whose
+// lattice fits in memory (-maxstates caps it).
 package main
 
 import (
@@ -23,30 +27,47 @@ import (
 	"repro/internal/sim"
 )
 
+// config carries the CLI parameters.
+type config struct {
+	wfPath    string
+	lambda    float64
+	downtime  float64
+	r0        float64
+	liveCosts bool
+	baselines bool
+	budget    int
+	outPlan   string
+	exact     bool
+	workers   int
+	maxStates int64
+}
+
 func main() {
-	var (
-		wfPath    = flag.String("workflow", "", "workflow JSON file (required)")
-		lambda    = flag.Float64("lambda", 0.01, "platform failure rate λ")
-		downtime  = flag.Float64("downtime", 0, "downtime D after each failure")
-		r0        = flag.Float64("r0", 0, "initial recovery cost R₀")
-		liveCosts = flag.Bool("livecosts", false, "use the live-set checkpoint cost model (Section 6 extension)")
-		baselines = flag.Bool("baselines", false, "also print always/never/periodic baselines (chains only)")
-		budget    = flag.Int("budget", 0, "limit the number of checkpoints (0 = unlimited; chains only)")
-		outPlan   = flag.String("out", "", "write the computed plan as JSON to this file")
-	)
+	var cfg config
+	flag.StringVar(&cfg.wfPath, "workflow", "", "workflow JSON file (required)")
+	flag.Float64Var(&cfg.lambda, "lambda", 0.01, "platform failure rate λ")
+	flag.Float64Var(&cfg.downtime, "downtime", 0, "downtime D after each failure")
+	flag.Float64Var(&cfg.r0, "r0", 0, "initial recovery cost R₀")
+	flag.BoolVar(&cfg.liveCosts, "livecosts", false, "use the live-set checkpoint cost model (Section 6 extension)")
+	flag.BoolVar(&cfg.baselines, "baselines", false, "also print always/never/periodic baselines (chains only)")
+	flag.IntVar(&cfg.budget, "budget", 0, "limit the number of checkpoints (0 = unlimited; chains only)")
+	flag.StringVar(&cfg.outPlan, "out", "", "write the computed plan as JSON to this file")
+	flag.BoolVar(&cfg.exact, "exact", false, "solve general DAGs exactly over the downset lattice instead of the heuristic portfolio")
+	flag.IntVar(&cfg.workers, "workers", 0, "solver parallelism (0 = all CPUs)")
+	flag.Int64Var(&cfg.maxStates, "maxstates", 20_000_000, "state cap for the -exact lattice search, ~100 bytes/state — size it to available memory (0 = unlimited)")
 	flag.Parse()
-	if *wfPath == "" {
+	if cfg.wfPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*wfPath, *lambda, *downtime, *r0, *liveCosts, *baselines, *budget, *outPlan); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "chkptplan: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wfPath string, lambda, downtime, r0 float64, liveCosts, baselines bool, budget int, outPlan string) error {
-	f, err := os.Open(wfPath)
+func run(cfg config) error {
+	f, err := os.Open(cfg.wfPath)
 	if err != nil {
 		return err
 	}
@@ -55,21 +76,21 @@ func run(wfPath string, lambda, downtime, r0 float64, liveCosts, baselines bool,
 	if err != nil {
 		return err
 	}
-	m, err := expectation.NewModel(lambda, downtime)
+	m, err := expectation.NewModel(cfg.lambda, cfg.downtime)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("workflow: %d tasks, %d edges, total work %.4g\n", g.Len(), g.EdgeCount(), g.TotalWeight())
-	fmt.Printf("model: λ=%g (MTBF %.4g), D=%g, R₀=%g\n\n", lambda, 1/lambda, downtime, r0)
+	fmt.Printf("model: λ=%g (MTBF %.4g), D=%g, R₀=%g\n\n", cfg.lambda, 1/cfg.lambda, cfg.downtime, cfg.r0)
 
-	if order, ok := g.IsLinearChain(); ok && !liveCosts {
-		cp, err := core.NewChainProblemOrdered(g, order, m, r0)
+	if order, ok := g.IsLinearChain(); ok && !cfg.liveCosts {
+		cp, err := core.NewChainProblemOrdered(g, order, m, cfg.r0)
 		if err != nil {
 			return err
 		}
 		var res core.ChainResult
-		if budget > 0 {
-			res, err = core.SolveChainDPBounded(cp, budget)
+		if cfg.budget > 0 {
+			res, err = core.SolveChainDPBounded(cp, cfg.budget)
 		} else {
 			res, err = core.SolveChainDP(cp)
 		}
@@ -78,21 +99,38 @@ func run(wfPath string, lambda, downtime, r0 float64, liveCosts, baselines bool,
 		}
 		printChainPlan(g, order, res)
 		printReport(cp, res)
-		if baselines {
+		if cfg.baselines {
 			printBaselines(cp, m)
 		}
-		return writePlanFile(outPlan, core.Plan{Order: order, CheckpointAfter: res.CheckpointAfter})
+		return writePlanFile(cfg.outPlan, core.Plan{Order: order, CheckpointAfter: res.CheckpointAfter})
 	}
 
-	var cm core.CostModel = core.LastTaskCosts{R0: r0}
-	if liveCosts {
-		cm = core.LiveSetCosts{R0: r0}
+	var cm core.CostModel = core.LastTaskCosts{R0: cfg.r0}
+	if cfg.liveCosts {
+		cm = core.LiveSetCosts{R0: cfg.r0}
 	}
-	res, err := core.SolveDAG(g, m, cm, nil)
-	if err != nil {
-		return err
+	opts := core.Options{Workers: cfg.workers, MaxStates: cfg.maxStates}
+	var res core.DAGResult
+	if cfg.exact {
+		var stats core.LatticeStats
+		res, stats, err = core.SolveDAGLatticeStats(g, m, cm, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cost model: %s; exact downset-lattice optimum\n", cm.Name())
+		fmt.Printf("lattice search: %d states, %d transitions, %d states expanded\n",
+			stats.States, stats.Transitions, stats.Expanded)
+		if stats.Incumbent > 0 && res.Expected > 0 {
+			fmt.Printf("portfolio incumbent %.6g → exact optimum %.6g (heuristic gap %.4f)\n",
+				stats.Incumbent, res.Expected, stats.Incumbent/res.Expected)
+		}
+	} else {
+		res, err = core.SolveDAGWith(g, m, cm, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cost model: %s; best linearization strategy: %s\n", cm.Name(), res.Strategy)
 	}
-	fmt.Printf("cost model: %s; best linearization strategy: %s\n", cm.Name(), res.Strategy)
 	fmt.Printf("expected makespan: %.6g\n", res.Expected)
 	fmt.Println("schedule (→ marks checkpoints):")
 	for i, id := range res.Order {
@@ -103,7 +141,7 @@ func run(wfPath string, lambda, downtime, r0 float64, liveCosts, baselines bool,
 		}
 		fmt.Printf("  %2d. %-16s w=%-8.4g%s\n", i+1, t.Name, t.Weight, mark)
 	}
-	return writePlanFile(outPlan, res.Plan())
+	return writePlanFile(cfg.outPlan, res.Plan())
 }
 
 func writePlanFile(path string, plan core.Plan) error {

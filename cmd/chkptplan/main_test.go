@@ -30,7 +30,7 @@ func TestRunChainWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := writeWorkflow(t, g)
-	if err := run(path, 0.02, 0.5, 0, false, true, 0, ""); err != nil {
+	if err := run(config{wfPath: path, lambda: 0.02, downtime: 0.5, baselines: true}); err != nil {
 		t.Fatalf("run on chain: %v", err)
 	}
 }
@@ -41,11 +41,48 @@ func TestRunDAGWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := writeWorkflow(t, g)
-	if err := run(path, 0.02, 0.5, 0.1, false, false, 0, ""); err != nil {
+	if err := run(config{wfPath: path, lambda: 0.02, downtime: 0.5, r0: 0.1}); err != nil {
 		t.Fatalf("run on DAG: %v", err)
 	}
-	if err := run(path, 0.02, 0.5, 0.1, true, false, 0, ""); err != nil {
+	if err := run(config{wfPath: path, lambda: 0.02, downtime: 0.5, r0: 0.1, liveCosts: true}); err != nil {
 		t.Fatalf("run on DAG with live costs: %v", err)
+	}
+}
+
+// TestRunExactMatchesAndWritesPlan drives the -exact lattice arm: it
+// must produce a valid plan at least as good as the portfolio's.
+func TestRunExactMatchesAndWritesPlan(t *testing.T) {
+	g, err := dag.GNP(9, 0.3, dag.DefaultWeights(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeWorkflow(t, g)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	for _, live := range []bool{false, true} {
+		if err := run(config{
+			wfPath: path, lambda: 0.03, downtime: 1,
+			liveCosts: live, exact: true, workers: 1, outPlan: planPath,
+		}); err != nil {
+			t.Fatalf("exact run (live=%v): %v", live, err)
+		}
+		f, err := os.Open(planPath)
+		if err != nil {
+			t.Fatalf("plan file not written: %v", err)
+		}
+		plan, err := core.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("plan file unreadable: %v", err)
+		}
+		if err := plan.Validate(g); err != nil {
+			t.Errorf("exact plan invalid: %v", err)
+		}
+	}
+	// A tight state cap must fail loudly, not melt down.
+	if err := run(config{
+		wfPath: path, lambda: 0.03, downtime: 1, exact: true, maxStates: 1,
+	}); err == nil {
+		t.Error("state cap of 1 should fail")
 	}
 }
 
@@ -56,7 +93,7 @@ func TestRunWritesPlanAndHonorsBudget(t *testing.T) {
 	}
 	path := writeWorkflow(t, g)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
-	if err := run(path, 0.05, 0.5, 0, false, false, 2, planPath); err != nil {
+	if err := run(config{wfPath: path, lambda: 0.05, downtime: 0.5, budget: 2, outPlan: planPath}); err != nil {
 		t.Fatalf("run with budget+out: %v", err)
 	}
 	f, err := os.Open(planPath)
@@ -77,7 +114,7 @@ func TestRunWritesPlanAndHonorsBudget(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0.02, 0, 0, false, false, 0, ""); err == nil {
+	if err := run(config{wfPath: filepath.Join(t.TempDir(), "missing.json"), lambda: 0.02}); err == nil {
 		t.Error("missing file should fail")
 	}
 	g, err := dag.Chain(3, dag.DefaultWeights(), rng.New(3))
@@ -85,7 +122,7 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := writeWorkflow(t, g)
-	if err := run(path, -1, 0, 0, false, false, 0, ""); err == nil {
+	if err := run(config{wfPath: path, lambda: -1}); err == nil {
 		t.Error("invalid lambda should fail")
 	}
 	// Corrupt JSON.
@@ -93,7 +130,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{nonsense"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, 0.02, 0, 0, false, false, 0, ""); err == nil {
+	if err := run(config{wfPath: bad, lambda: 0.02}); err == nil {
 		t.Error("corrupt workflow should fail")
 	}
 }

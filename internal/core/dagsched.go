@@ -3,6 +3,9 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dag"
 	"repro/internal/expectation"
@@ -171,6 +174,47 @@ type StartIndependentCosts interface {
 // re-accumulated over the chosen placement with the cost model's own
 // arithmetic, so accelerated and generic paths report comparable values.
 func SolveOrderDP(g *dag.Graph, order []int, m expectation.Model, cm CostModel) (DAGResult, error) {
+	return solveOrderDPWith(g, order, m, cm, &orderScratch{})
+}
+
+// orderScratch holds the reusable buffers of the per-order DPs. The
+// portfolio and exhaustive solvers run many per-order DPs back to back
+// and keep one scratch per worker, so each order costs zero table
+// allocations after the first; SolveOrderDP hands a fresh scratch per
+// call. Results are identical either way (expectation.SegmentKernel's
+// Reinit contract).
+type orderScratch struct {
+	weights, ckpt, rec, best []float64
+	next                     []int
+	kern                     *expectation.SegmentKernel
+	// live-set path extras
+	pos, lastUse []int
+	cPos, rPos   []float64
+	retireAt     [][]int
+}
+
+// grow returns s resized to n, reusing capacity when possible; grown
+// elements may hold stale content, which callers must overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// reinitKernel rebuilds the scratch's kernel for the given tables.
+func (sc *orderScratch) reinitKernel(m expectation.Model, weights, ckpt, rec []float64) (*expectation.SegmentKernel, error) {
+	if sc.kern == nil {
+		sc.kern = &expectation.SegmentKernel{}
+	}
+	if err := sc.kern.Reinit(m, weights, ckpt, rec); err != nil {
+		return nil, err
+	}
+	return sc.kern, nil
+}
+
+// solveOrderDPWith is SolveOrderDP over caller-owned scratch buffers.
+func solveOrderDPWith(g *dag.Graph, order []int, m expectation.Model, cm CostModel, sc *orderScratch) (DAGResult, error) {
 	if err := m.Validate(); err != nil {
 		return DAGResult{}, err
 	}
@@ -182,10 +226,10 @@ func SolveOrderDP(g *dag.Graph, order []int, m expectation.Model, cm CostModel) 
 		return DAGResult{}, fmt.Errorf("core: order covers %d of %d tasks", n, g.Len())
 	}
 	if lv, ok := cm.(LiveSetCosts); ok {
-		return solveOrderDPLiveSet(g, order, m, lv)
+		return solveOrderDPLiveSet(g, order, m, lv, sc)
 	}
 	if si, ok := cm.(StartIndependentCosts); ok && si.CheckpointCostStartIndependent() {
-		return solveOrderDPKernel(g, order, m, cm)
+		return solveOrderDPKernel(g, order, m, cm, sc)
 	}
 	return solveOrderDPGeneric(g, order, m, cm)
 }
@@ -201,15 +245,6 @@ func recBeforeAt(g *dag.Graph, order []int, cm CostModel, x int) float64 {
 	return cm.RecoveryCost(g, order, x-1)
 }
 
-// orderRecBefore materializes recBeforeAt for every position.
-func orderRecBefore(g *dag.Graph, order []int, cm CostModel) []float64 {
-	rec := make([]float64, len(order))
-	for x := range rec {
-		rec[x] = recBeforeAt(g, order, cm, x)
-	}
-	return rec
-}
-
 // orderPrefix returns the weight prefix sums of a linearization.
 func orderPrefix(g *dag.Graph, order []int) []float64 {
 	prefix := make([]float64, len(order)+1)
@@ -222,21 +257,25 @@ func orderPrefix(g *dag.Graph, order []int) []float64 {
 // solveOrderDPKernel is the fast path for start-independent checkpoint
 // costs: per-position cost tables feed the segment-expectation kernel,
 // and the pruned scan mirrors SolveChainDP.
-func solveOrderDPKernel(g *dag.Graph, order []int, m expectation.Model, cm CostModel) (DAGResult, error) {
+func solveOrderDPKernel(g *dag.Graph, order []int, m expectation.Model, cm CostModel, sc *orderScratch) (DAGResult, error) {
 	n := len(order)
-	weights := make([]float64, n)
-	ckpt := make([]float64, n)
+	sc.weights = grow(sc.weights, n)
+	sc.ckpt = grow(sc.ckpt, n)
+	sc.rec = grow(sc.rec, n)
 	for i, id := range order {
-		weights[i] = g.Task(id).Weight
-		ckpt[i] = cm.CheckpointCost(g, order, i, i)
+		sc.weights[i] = g.Task(id).Weight
+		sc.ckpt[i] = cm.CheckpointCost(g, order, i, i)
+		sc.rec[i] = recBeforeAt(g, order, cm, i)
 	}
-	rec := orderRecBefore(g, order, cm)
-	kern, err := expectation.NewSegmentKernel(m, weights, ckpt, rec)
+	kern, err := sc.reinitKernel(m, sc.weights, sc.ckpt, sc.rec)
 	if err != nil {
 		return DAGResult{}, err
 	}
-	best := make([]float64, n+1)
-	next := make([]int, n)
+	best := grow(sc.best, n+1)
+	sc.best = best
+	next := grow(sc.next, n)
+	sc.next = next
+	best[n] = 0 // reused buffers may hold a previous order's row
 	for x := n - 1; x >= 0; x-- {
 		best[x], next[x], _ = prunedRow(kern, x, best)
 	}
@@ -304,12 +343,17 @@ func orderResult(g *dag.Graph, order []int, m expectation.Model, cm CostModel, n
 // positions), i.e. O(total out-degree) amortized. The scan is pruned
 // with a work-only kernel bound: checkpoint costs are nonnegative, so a
 // zero-cost segment expectation bounds the true one from below.
-func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv LiveSetCosts) (DAGResult, error) {
+func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv LiveSetCosts, sc *orderScratch) (DAGResult, error) {
 	n := len(order)
-	pos := positionsOf(g, order)
-	weights := make([]float64, n)
-	cPos := make([]float64, n) // checkpoint cost of the task at position i
-	rPos := make([]float64, n) // recovery cost of the task at position i
+	sc.pos = grow(sc.pos, g.Len())
+	pos := sc.pos
+	for i, id := range order {
+		pos[id] = i
+	}
+	sc.weights = grow(sc.weights, n)
+	sc.cPos = grow(sc.cPos, n)
+	sc.rPos = grow(sc.rPos, n)
+	weights, cPos, rPos := sc.weights, sc.cPos, sc.rPos
 	for i, id := range order {
 		t := g.Task(id)
 		weights[i] = t.Weight
@@ -319,7 +363,8 @@ func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv Live
 	// lastUse[i]: the position after which the output of the task at
 	// position i is dead — the maximum position of its successors, or n
 	// for sinks (final results stay live forever).
-	lastUse := make([]int, n)
+	sc.lastUse = grow(sc.lastUse, n)
+	lastUse := sc.lastUse
 	for i, id := range order {
 		succ := g.Successors(id)
 		if len(succ) == 0 {
@@ -335,7 +380,15 @@ func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv Live
 		lastUse[i] = last
 	}
 	// retireAt[j]: positions whose output dies once position j has run.
-	retireAt := make([][]int, n)
+	if cap(sc.retireAt) >= n {
+		sc.retireAt = sc.retireAt[:n]
+		for i := range sc.retireAt {
+			sc.retireAt[i] = sc.retireAt[i][:0]
+		}
+	} else {
+		sc.retireAt = make([][]int, n)
+	}
+	retireAt := sc.retireAt
 	for i, last := range lastUse {
 		if last < n {
 			retireAt[last] = append(retireAt[last], i)
@@ -344,7 +397,8 @@ func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv Live
 	// All recovery costs in one incremental sweep: rec(end) adds the
 	// task that just ran (its output is always live at its own position)
 	// and retires outputs last used at end.
-	recBefore := make([]float64, n)
+	sc.rec = grow(sc.rec, n)
+	recBefore := sc.rec
 	recBefore[0] = lv.InitialRecovery()
 	acc := 0.0
 	for end := 0; end < n-1; end++ {
@@ -357,13 +411,19 @@ func solveOrderDPLiveSet(g *dag.Graph, order []int, m expectation.Model, lv Live
 	// Work-only kernel: zero checkpoint costs make its Segment a lower
 	// bound on every live-set segment expectation, which drives pruning;
 	// SegmentWithCost supplies the exact per-transition value.
-	kern, err := expectation.NewSegmentKernel(m, weights, make([]float64, n), recBefore)
+	sc.ckpt = grow(sc.ckpt, n)
+	for i := range sc.ckpt {
+		sc.ckpt[i] = 0
+	}
+	kern, err := sc.reinitKernel(m, weights, sc.ckpt, recBefore)
 	if err != nil {
 		return DAGResult{}, err
 	}
 	slack := kern.Slack()
-	best := make([]float64, n+1)
-	next := make([]int, n)
+	sc.best = grow(sc.best, n+1)
+	sc.next = grow(sc.next, n)
+	best, next := sc.best, sc.next
+	best[n] = 0 // reused buffers may hold a previous order's row
 	for x := n - 1; x >= 0; x-- {
 		bestE := infinity
 		bestJ := n - 1
@@ -561,6 +621,82 @@ func DefaultStrategies() []LinearizationStrategy {
 	}
 }
 
+// Options tunes the DAG solvers.
+type Options struct {
+	// Workers bounds the solver parallelism: linearization strategies
+	// solved concurrently by the portfolio, lattice states expanded
+	// concurrently per level. ≤ 0 means runtime.GOMAXPROCS(0). Results
+	// are identical for every worker count.
+	Workers int
+	// Strategies is the linearization portfolio (nil means
+	// DefaultStrategies) — the heuristic arms of SolveDAGWith and the
+	// branch-and-bound incumbent of SolveDAGLattice.
+	Strategies []LinearizationStrategy
+	// MaxStates caps the number of DP states SolveDAGLattice may store
+	// (0 means unlimited); exceeding it aborts with an error instead of
+	// exhausting memory. The cap is enforced exactly between lattice
+	// levels and approximately (per-worker candidate insertions, an
+	// overestimate of distinct states) during a level's expansion, so a
+	// run near the cap may abort slightly early rather than overshoot.
+	MaxStates int64
+	// NoIncumbent skips seeding the lattice branch-and-bound with the
+	// portfolio incumbent, forcing the full unpruned state space (used
+	// by tests and by benchmarks of the bare DP).
+	NoIncumbent bool
+	// IncumbentUB, when positive, seeds the lattice branch-and-bound
+	// with a caller-supplied upper bound instead of running the
+	// portfolio internally (callers that already solved the portfolio
+	// avoid solving it twice). It MUST be the expected makespan of a
+	// valid schedule of the same instance — an underestimate below the
+	// true optimum would unsoundly prune it. Takes precedence over
+	// NoIncumbent; ignored by SolveDAGWith.
+	IncumbentUB float64
+}
+
+// workerCount resolves the configured parallelism.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runWorkers executes fn(worker, i) for i ∈ [0, n) on up to `workers`
+// goroutines — the engine worker-pool idiom (internal/expt/engine),
+// restated locally because core sits below the experiment packages.
+// The worker index lets callers keep per-goroutine scratch. With one
+// worker it degenerates to a serial loop on the caller's goroutine.
+func runWorkers(workers, n int, fn func(worker, i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // SolveDAG schedules a general DAG heuristically: it tries every supplied
 // linearization strategy (DefaultStrategies when strategies is nil), runs
 // the exact per-order DP on each, and returns the best schedule found.
@@ -568,54 +704,108 @@ func DefaultStrategies() []LinearizationStrategy {
 // NP-hard, so a portfolio of orders with exact placement per order is the
 // principled heuristic.
 func SolveDAG(g *dag.Graph, m expectation.Model, cm CostModel, strategies []LinearizationStrategy) (DAGResult, error) {
+	return SolveDAGWith(g, m, cm, Options{Strategies: strategies, Workers: 1})
+}
+
+// SolveDAGWith is SolveDAG with explicit Options: the portfolio
+// strategies run concurrently on Options.Workers goroutines, each
+// reusing one set of per-order DP buffers across the strategies it
+// solves. Ties between strategies break toward the earlier strategy in
+// the portfolio order regardless of worker count, so the result is
+// bit-identical to the serial portfolio.
+func SolveDAGWith(g *dag.Graph, m expectation.Model, cm CostModel, opts Options) (DAGResult, error) {
 	if g.Len() == 0 {
 		return DAGResult{}, fmt.Errorf("core: empty graph")
 	}
 	if err := g.Validate(); err != nil {
 		return DAGResult{}, err
 	}
+	strategies := opts.Strategies
 	if strategies == nil {
 		strategies = DefaultStrategies()
 	}
-	best := DAGResult{Expected: infinity}
-	for _, s := range strategies {
+	workers := opts.workerCount()
+	results := make([]DAGResult, len(strategies))
+	errs := make([]error, len(strategies))
+	scratches := make([]*orderScratch, workers)
+	runWorkers(workers, len(strategies), func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &orderScratch{}
+			scratches[w] = sc
+		}
+		s := strategies[i]
 		order, err := s.Order(g)
 		if err != nil {
-			return DAGResult{}, fmt.Errorf("core: strategy %s: %w", s.Name, err)
+			errs[i] = fmt.Errorf("core: strategy %s: %w", s.Name, err)
+			return
 		}
-		res, err := SolveOrderDP(g, order, m, cm)
+		res, err := solveOrderDPWith(g, order, m, cm, sc)
 		if err != nil {
-			return DAGResult{}, fmt.Errorf("core: strategy %s: %w", s.Name, err)
+			errs[i] = fmt.Errorf("core: strategy %s: %w", s.Name, err)
+			return
 		}
 		res.Strategy = s.Name
-		if res.Expected < best.Expected {
-			best = res
+		results[i] = res
+	})
+	best := DAGResult{Expected: infinity}
+	for i := range strategies {
+		if errs[i] != nil {
+			return DAGResult{}, errs[i]
+		}
+		if results[i].Expected < best.Expected {
+			best = results[i]
 		}
 	}
 	return best, nil
 }
 
-// SolveDAGExhaustive enumerates every linearization (up to limit; 0 means
-// all) with the exact per-order DP and returns the global optimum over
-// enumerated orders. Exponential; used to validate SolveDAG on small
-// graphs.
+// SolveDAGExhaustive streams every linearization (up to limit; 0 means
+// all) through the exact per-order DP and returns the global optimum
+// over enumerated orders. Still factorial in time — it is the
+// validation oracle for SolveDAG and SolveDAGLattice on small graphs —
+// but O(n) in memory: orders are enumerated by dag.EachTopologicalOrder
+// instead of materialized, and the per-order DP reuses one scratch
+// across all orders.
+//
+// For the order-free cost models (LastTaskCosts, LiveSetCosts) the
+// reported Expected is re-accumulated through the canonical
+// downset-chain arithmetic (see downsetChainValue), making it
+// bit-comparable to SolveDAGLattice: both solvers evaluate the same
+// mathematical optimum through the same expression tree.
 func SolveDAGExhaustive(g *dag.Graph, m expectation.Model, cm CostModel, limit int) (DAGResult, error) {
 	if g.Len() == 0 {
 		return DAGResult{}, fmt.Errorf("core: empty graph")
 	}
-	orders := g.AllTopologicalOrders(limit)
-	if len(orders) == 0 {
-		return DAGResult{}, dag.ErrCycle
-	}
 	best := DAGResult{Expected: infinity}
-	for _, order := range orders {
-		res, err := SolveOrderDP(g, order, m, cm)
+	found := false
+	var solveErr error
+	sc := &orderScratch{}
+	g.EachTopologicalOrder(limit, func(order []int) bool {
+		res, err := solveOrderDPWith(g, order, m, cm, sc)
 		if err != nil {
-			return DAGResult{}, err
+			solveErr = err
+			return false
 		}
-		res.Strategy = "exhaustive"
+		found = true
 		if res.Expected < best.Expected {
 			best = res
+		}
+		return true
+	})
+	if solveErr != nil {
+		return DAGResult{}, solveErr
+	}
+	if !found {
+		return DAGResult{}, dag.ErrCycle
+	}
+	best.Strategy = "exhaustive"
+	// Instances where every order evaluates to +Inf never improve the
+	// sentinel: best has no order, and there is nothing to re-report
+	// (an empty chain would canonicalize to 0, not +Inf).
+	if len(best.Order) != 0 {
+		if v, ok := canonicalValue(g, m, cm, best); ok {
+			best.Expected = v
 		}
 	}
 	return best, nil

@@ -35,7 +35,7 @@ func TestLiveSetDPMatchesGeneric(t *testing.T) {
 				t.Fatal(err)
 			}
 			lv := LiveSetCosts{R0: r.Range(0, 1)}
-			fast, err := solveOrderDPLiveSet(g, order, m, lv)
+			fast, err := solveOrderDPLiveSet(g, order, m, lv, &orderScratch{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -246,25 +246,37 @@ func (g *Graph) IsLinearChain() ([]int, bool) {
 // of Proposition 2).
 func (g *Graph) IsIndependent() bool { return g.edges == 0 }
 
-// AllTopologicalOrders enumerates every linearization of the graph, up to
-// the given limit (0 means unlimited). It is exponential and intended for
-// exact optimization on small graphs and for tests.
-func (g *Graph) AllTopologicalOrders(limit int) [][]int {
+// EachTopologicalOrder streams every linearization of the graph to fn,
+// up to the given limit (0 means unlimited), in the lexicographic order
+// the recursive enumeration produces. fn returning false stops the
+// enumeration early. The order slice is reused between calls — callers
+// that retain an order must copy it. Memory is O(n) regardless of how
+// many of the (up to n!) orders are enumerated, which is what lets the
+// exhaustive DAG solver act as a validation oracle without the O(n!·n)
+// materialization the previous AllTopologicalOrders paid.
+func (g *Graph) EachTopologicalOrder(limit int, fn func(order []int) bool) {
 	n := len(g.tasks)
+	if n == 0 {
+		// The empty poset has exactly one (empty) linear extension,
+		// matching what the materializing enumeration always produced.
+		fn(nil)
+		return
+	}
 	indeg := make([]int, n)
 	for i := range g.pred {
 		indeg[i] = len(g.pred[i])
 	}
-	var out [][]int
 	cur := make([]int, 0, n)
 	used := make([]bool, n)
+	emitted := 0
 	var rec func() bool
 	rec = func() bool {
 		if len(cur) == n {
-			cp := make([]int, n)
-			copy(cp, cur)
-			out = append(out, cp)
-			return limit > 0 && len(out) >= limit
+			emitted++
+			if !fn(cur) {
+				return true
+			}
+			return limit > 0 && emitted >= limit
 		}
 		for v := 0; v < n; v++ {
 			if used[v] || indeg[v] != 0 {
@@ -288,6 +300,29 @@ func (g *Graph) AllTopologicalOrders(limit int) [][]int {
 		return false
 	}
 	rec()
+}
+
+// CountTopologicalOrders counts the linearizations of the graph by
+// streaming the enumeration, up to limit (0 means count all). For the
+// count alone, Lattice.CountLinearExtensions is exponentially cheaper
+// on non-antichain graphs; this function exists for graphs beyond the
+// lattice's 64-task cap and for cross-checking the lattice count.
+func (g *Graph) CountTopologicalOrders(limit int) int64 {
+	var count int64
+	g.EachTopologicalOrder(limit, func([]int) bool { count++; return true })
+	return count
+}
+
+// AllTopologicalOrders materializes every linearization of the graph,
+// up to the given limit (0 means unlimited). It costs O(#orders · n)
+// memory; prefer EachTopologicalOrder for anything but small test
+// graphs.
+func (g *Graph) AllTopologicalOrders(limit int) [][]int {
+	var out [][]int
+	g.EachTopologicalOrder(limit, func(order []int) bool {
+		out = append(out, append([]int(nil), order...))
+		return true
+	})
 	return out
 }
 

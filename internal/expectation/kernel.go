@@ -86,30 +86,42 @@ const kernelBaseSlack = 1e-9
 // force when a segment starts at position x (R₀ for x = 0 in the chain
 // problem). All three slices must have equal, positive length.
 func NewSegmentKernel(m Model, weights, ckpt, recBefore []float64) (*SegmentKernel, error) {
-	if err := m.Validate(); err != nil {
+	k := &SegmentKernel{}
+	if err := k.Reinit(m, weights, ckpt, recBefore); err != nil {
 		return nil, err
+	}
+	return k, nil
+}
+
+// Reinit rebuilds the kernel in place for a new problem, reusing the
+// table capacity of previous builds — the portfolio solvers run one
+// per-order DP per linearization strategy and reinitialize one kernel
+// across them instead of allocating ~10 tables per order. A reused
+// kernel is indistinguishable from a fresh NewSegmentKernel build.
+func (k *SegmentKernel) Reinit(m Model, weights, ckpt, recBefore []float64) error {
+	if err := m.Validate(); err != nil {
+		return err
 	}
 	n := len(weights)
 	if n == 0 {
-		return nil, fmt.Errorf("expectation: kernel needs at least one position")
+		return fmt.Errorf("expectation: kernel needs at least one position")
 	}
 	if len(ckpt) != n || len(recBefore) != n {
-		return nil, fmt.Errorf("expectation: kernel slice lengths differ (%d, %d, %d)", n, len(ckpt), len(recBefore))
+		return fmt.Errorf("expectation: kernel slice lengths differ (%d, %d, %d)", n, len(ckpt), len(recBefore))
 	}
-	k := &SegmentKernel{
-		model:     m,
-		prefix:    make([]float64, n+1),
-		ckpt:      ckpt,
-		t:         make([]float64, n),
-		u:         make([]float64, n),
-		endFrac:   make([]float64, n),
-		endExp:    make([]int32, n),
-		startFrac: make([]float64, n),
-		startExp:  make([]int32, n),
-		amp:       make([]float64, n),
-		recInf:    make([]bool, n),
-		sufMin:    make([]int32, n),
-	}
+	k.model = m
+	k.prefix = grow(k.prefix, n+1)
+	k.ckpt = ckpt
+	k.t = grow(k.t, n)
+	k.u = grow(k.u, n)
+	k.endFrac = grow(k.endFrac, n)
+	k.endExp = grow(k.endExp, n)
+	k.startFrac = grow(k.startFrac, n)
+	k.startExp = grow(k.startExp, n)
+	k.amp = grow(k.amp, n)
+	k.recInf = grow(k.recInf, n)
+	k.sufMin = grow(k.sufMin, n)
+	k.prefix[0] = 0
 	for i, w := range weights {
 		k.prefix[i+1] = k.prefix[i] + w
 	}
@@ -126,6 +138,7 @@ func NewSegmentKernel(m Model, weights, ckpt, recBefore []float64) (*SegmentKern
 			k.recInf[i] = true
 			k.amp[i] = math.Inf(1)
 		} else {
+			k.recInf[i] = false // may be stale from a reused build
 			k.amp[i] = math.Exp(lr) * scale
 		}
 	}
@@ -147,7 +160,16 @@ func NewSegmentKernel(m Model, weights, ckpt, recBefore []float64) (*SegmentKern
 	// Pruning slack: fast-path error plus the large-prefix degradation of
 	// the scaled tables (λ·P(n)·2⁻⁵², with headroom).
 	k.slack = 1 + kernelBaseSlack + 8e-16*math.Max(1, k.t[n-1])
-	return k, nil
+	return nil
+}
+
+// grow returns s resized to n, reusing capacity when possible; grown
+// elements may hold stale content, which Reinit fully overwrites.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // Len returns the number of positions.

@@ -97,6 +97,19 @@ func ScheduleDAG(g *Graph, m Model) (core.DAGResult, error) {
 	return core.SolveDAG(g, m, core.LastTaskCosts{}, nil)
 }
 
+// ScheduleDAGExact computes the globally optimal order-plus-placement
+// schedule by dynamic programming over the DAG's downset lattice —
+// exponential in the graph's width rather than factorial in its size,
+// which reaches ~20–30-task workflows where order enumeration is
+// hopeless. The NP-hardness of Proposition 2 caps how far any exact
+// method scales: very wide graphs trip the built-in 20M-state budget
+// (roughly a couple of GB of tables; size core.Options.MaxStates to
+// your memory if you need more) and return an error — fall back to
+// ScheduleDAG there.
+func ScheduleDAGExact(g *Graph, m Model) (core.DAGResult, error) {
+	return core.SolveDAGLattice(g, m, core.LastTaskCosts{}, core.Options{MaxStates: 20_000_000})
+}
+
 // EvaluatePlan returns the exact expected makespan of an explicit plan.
 func EvaluatePlan(m Model, g *Graph, plan Plan, initialRecovery float64) (float64, error) {
 	return core.EvaluatePlan(m, g, plan, initialRecovery)

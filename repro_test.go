@@ -112,6 +112,16 @@ func TestFacadeScheduleDAG(t *testing.T) {
 	if err := res.Plan().Validate(g); err != nil {
 		t.Errorf("facade DAG plan invalid: %v", err)
 	}
+	exact, err := repro.ScheduleDAGExact(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exact.Plan().Validate(g); err != nil {
+		t.Errorf("facade exact plan invalid: %v", err)
+	}
+	if exact.Expected > res.Expected*(1+1e-12) {
+		t.Errorf("exact optimum %v worse than portfolio %v", exact.Expected, res.Expected)
+	}
 }
 
 func TestFacadeReportAndBudget(t *testing.T) {
