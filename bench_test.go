@@ -135,16 +135,47 @@ func benchChain(b *testing.B, n int) {
 	}
 }
 
+// BenchmarkChainDP* measures the dispatching portfolio, which takes
+// the monotone-matrix arm on this certified workload; the pinned
+// kernel-arm and dense benchmarks below isolate the other arms.
 func BenchmarkChainDP64(b *testing.B)   { benchChain(b, 64) }
 func BenchmarkChainDP256(b *testing.B)  { benchChain(b, 256) }
 func BenchmarkChainDP1024(b *testing.B) { benchChain(b, 1024) }
 func BenchmarkChainDP4096(b *testing.B) { benchChain(b, 4096) }
 
+// Pinned kernel arm: comparing against BenchmarkChainDP* at the same
+// size measures the monotone arm's win over the pruned scan;
+// experiment E16 records the same comparison as a table.
+func benchChainKernel(b *testing.B, n int) {
+	b.Helper()
+	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.01, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveChainDPKernel(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainDPKernel1024(b *testing.B) { benchChainKernel(b, 1024) }
+func BenchmarkChainDPKernel4096(b *testing.B) { benchChainKernel(b, 4096) }
+
 // Kernel-off ablation: the dense Algorithm 1 scan (one exp + one expm1
 // per transition, all n(n+1)/2 transitions). Comparing against
-// BenchmarkChainDP* at the same size measures the segment-kernel +
-// exact-pruning speedup; experiment E13 records the same comparison as
-// a table.
+// BenchmarkChainDPKernel* at the same size measures the segment-kernel
+// + exact-pruning speedup; experiment E13 records the same comparison
+// as a table.
 func benchChainDense(b *testing.B, n int) {
 	b.Helper()
 	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))

@@ -1,9 +1,12 @@
 // Command benchtraj bootstraps the benchmark trajectory: it runs the
-// chain-DP benchmarks programmatically (kernel fast path vs the dense
-// Algorithm 1 scan, n ∈ {100, 1000, 5000} by default) plus the
-// steady-state simulation loop, and writes the measurements as JSON —
-// the artifact the CI bench job uploads, so successive commits leave a
-// comparable ns/op and allocs/op trail.
+// chain-DP benchmarks programmatically (monotone-matrix arm vs kernel
+// fast path vs the dense Algorithm 1 scan, n ∈ {100, 1000, 5000} by
+// default) plus the steady-state simulation loop, and writes the
+// measurements as JSON. Snapshots of the three trajectories are checked
+// in at the repository root (BENCH_chain_dp.json, BENCH_sim.json,
+// BENCH_dag.json), so the repo carries its own perf history; the CI
+// bench job regenerates them and diffs fresh results against the
+// snapshots, warning on >25% ns/op regressions (see -diff).
 //
 // It also emits a second trajectory, BENCH_sim.json, for the Monte-Carlo
 // backbone: scan-vs-heap superposed-platform campaigns at
@@ -12,12 +15,17 @@
 //
 // Usage:
 //
-//	benchtraj                       # write BENCH_chain_dp.json + BENCH_sim.json
+//	benchtraj                       # write BENCH_chain_dp.json + BENCH_sim.json + BENCH_dag.json
+//	benchtraj -out ./               # output paths may be directories (default filenames inside)
 //	benchtraj -out results.json     # choose the chain-DP output path
 //	benchtraj -simout sim.json      # choose the sim output path ("" skips it)
 //	benchtraj -benchtime 0.2s       # shorter measurement per benchmark
 //	benchtraj -sizes 100,1000       # choose chain lengths
 //	benchtraj -simprocs 1,1000      # choose platform sizes for scan-vs-heap
+//	benchtraj -frontier=false       # skip the large-chain frontier points (n=200k/1M, several seconds)
+//	benchtraj -cpuprofile cpu.pprof # capture a CPU profile of the measured code
+//	benchtraj -memprofile mem.pprof # write an allocation profile on exit
+//	benchtraj -diff old.json new.json  # compare two trajectories, warn on >25% ns/op regressions
 package main
 
 import (
@@ -26,7 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -71,16 +82,27 @@ func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtraj", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("out", "BENCH_chain_dp.json", "output JSON path")
-		simOut    = fs.String("simout", "BENCH_sim.json", "Monte-Carlo backbone output JSON path (empty to skip)")
-		dagOut    = fs.String("dagout", "BENCH_dag.json", "DAG lattice-vs-factorial output JSON path (empty to skip)")
-		benchtime = fs.Duration("benchtime", 500*time.Millisecond, "target measurement time per benchmark")
-		sizesFlag = fs.String("sizes", "100,1000,5000", "comma-separated chain lengths")
-		procsFlag = fs.String("simprocs", "1,1000,65536", "comma-separated platform sizes for scan-vs-heap campaigns")
-		dagFlag   = fs.String("dagsizes", "8,12,16,20", "comma-separated in-tree sizes for the lattice trajectory")
+		out        = fs.String("out", "BENCH_chain_dp.json", "output JSON path (a directory keeps the default filename inside it)")
+		simOut     = fs.String("simout", "BENCH_sim.json", "Monte-Carlo backbone output JSON path (empty to skip; directories as for -out)")
+		dagOut     = fs.String("dagout", "BENCH_dag.json", "DAG lattice-vs-factorial output JSON path (empty to skip; directories as for -out)")
+		benchtime  = fs.Duration("benchtime", 500*time.Millisecond, "target measurement time per benchmark")
+		sizesFlag  = fs.String("sizes", "100,1000,5000", "comma-separated chain lengths")
+		procsFlag  = fs.String("simprocs", "1,1000,65536", "comma-separated platform sizes for scan-vs-heap campaigns")
+		dagFlag    = fs.String("dagsizes", "8,12,16,20", "comma-separated in-tree sizes for the lattice trajectory")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the measured benchmarks to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		diffMode   = fs.Bool("diff", false, "compare two trajectory files (old new) instead of benchmarking; warns on >25% ns/op regressions")
+		frontier   = fs.Bool("frontier", true, "include the large-chain frontier points (monotone vs kernel at n=200k, monotone at n=1M, MTBF 1000)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *diffMode {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchtraj: -diff needs exactly two trajectory files (old new)")
+			return 2
+		}
+		return diffReports(fs.Arg(0), fs.Arg(1), stderr)
 	}
 	parseInts := func(flagVal, what string) ([]int, bool) {
 		var vals []int
@@ -106,6 +128,12 @@ func run(args []string, stderr io.Writer) int {
 	if !ok {
 		return 2
 	}
+	// Output paths may name directories ("-out ./"): keep the default
+	// filename inside them, so the checked-in snapshots and CI both use
+	// one spelling.
+	resolveOut(out, "BENCH_chain_dp.json")
+	resolveOut(simOut, "BENCH_sim.json")
+	resolveOut(dagOut, "BENCH_dag.json")
 	// testing.Benchmark sizes its runs from the -test.benchtime flag;
 	// register the testing flags and set it to our budget.
 	testing.Init()
@@ -113,7 +141,41 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
 		return 1
 	}
-	report, err := measure(sizes)
+	// The memprofile defer is registered first so it runs last (LIFO):
+	// its forced GC and profile serialization must not be captured
+	// inside the still-active CPU profile.
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(stderr, "benchtraj: wrote allocation profile to %s\n", *memProfile)
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(stderr, "benchtraj: wrote CPU profile to %s\n", *cpuProfile)
+		}()
+	}
+	report, err := measure(sizes, *frontier)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchtraj: %v\n", err)
 		return 1
@@ -147,6 +209,96 @@ func run(args []string, stderr io.Writer) int {
 	return 0
 }
 
+// resolveOut rewrites a path flag that names a directory (or ends in a
+// separator) to the default filename inside that directory.
+func resolveOut(path *string, defaultName string) {
+	p := *path
+	if p == "" {
+		return
+	}
+	if strings.HasSuffix(p, "/") || strings.HasSuffix(p, string(os.PathSeparator)) {
+		*path = filepath.Join(p, defaultName)
+		return
+	}
+	if info, err := os.Stat(p); err == nil && info.IsDir() {
+		*path = filepath.Join(p, defaultName)
+	}
+}
+
+// regressionThreshold is the ns/op ratio beyond which -diff warns: a
+// fresh measurement more than 25% slower than the snapshot.
+const regressionThreshold = 1.25
+
+// diffReports compares two trajectory files by benchmark name and
+// reports ns/op movements. Regressions beyond regressionThreshold are
+// emitted as GitHub-annotation warnings (plain lines elsewhere read the
+// same); the exit code stays 0 — the trajectory warns, it does not
+// gate — with 2 reserved for unreadable inputs.
+func diffReports(oldPath, newPath string, stderr io.Writer) int {
+	read := func(path string) (*Report, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return nil, false
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %s: %v\n", path, err)
+			return nil, false
+		}
+		return &rep, true
+	}
+	oldRep, ok := read(oldPath)
+	if !ok {
+		return 2
+	}
+	newRep, ok := read(newPath)
+	if !ok {
+		return 2
+	}
+	oldByName := make(map[string]Measurement, len(oldRep.Results))
+	for _, m := range oldRep.Results {
+		oldByName[m.Name] = m
+	}
+	names := make([]string, 0, len(newRep.Results))
+	newByName := make(map[string]Measurement, len(newRep.Results))
+	for _, m := range newRep.Results {
+		names = append(names, m.Name)
+		newByName[m.Name] = m
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		cur := newByName[name]
+		prev, ok := oldByName[name]
+		if !ok || prev.NsPerOp <= 0 {
+			fmt.Fprintf(stderr, "  new    %-36s %12.0f ns/op (no snapshot)\n", name, cur.NsPerOp)
+			continue
+		}
+		ratio := cur.NsPerOp / prev.NsPerOp
+		if ratio > regressionThreshold {
+			regressions++
+			fmt.Fprintf(stderr, "::warning title=benchtraj regression::%s regressed %.2fx (%.0f → %.0f ns/op)\n",
+				name, ratio, prev.NsPerOp, cur.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(stderr, "  ok     %-36s %12.0f ns/op (%.2fx vs snapshot)\n", name, cur.NsPerOp, ratio)
+	}
+	missing := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		if _, ok := newByName[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(stderr, "::warning title=benchtraj regression::%s present in snapshot %s but missing from %s\n", name, oldPath, newPath)
+		regressions++
+	}
+	fmt.Fprintf(stderr, "benchtraj: compared %d benchmarks against %s, %d warning(s)\n", len(names), oldPath, regressions)
+	return 0
+}
+
 // writeReport writes one trajectory document and echoes its measurements.
 func writeReport(path string, report *Report, stderr io.Writer) error {
 	f, err := os.Create(path)
@@ -169,7 +321,7 @@ func writeReport(path string, report *Report, stderr io.Writer) error {
 	return nil
 }
 
-func measure(sizes []int) (*Report, error) {
+func measure(sizes []int, frontier bool) (*Report, error) {
 	report := &Report{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
@@ -199,8 +351,12 @@ func measure(sizes []int) (*Report, error) {
 			return nil, err
 		}
 		// Pre-flight once so a solver error surfaces as an error, not a
-		// swallowed benchmark failure.
-		if _, err := core.SolveChainDP(cp); err != nil {
+		// swallowed benchmark failure. The default-weights chain is
+		// quadrangle-certified, so the pinned monotone arm must accept it.
+		if _, err := core.SolveChainDPMonotone(cp); err != nil {
+			return nil, err
+		}
+		if _, err := core.SolveChainDPKernel(cp); err != nil {
 			return nil, err
 		}
 		if _, err := core.SolveChainDPDense(cp); err != nil {
@@ -216,13 +372,76 @@ func measure(sizes []int) (*Report, error) {
 				}
 			})
 		}
+		record(fmt.Sprintf("chain_dp_monotone/n=%d", n), n, bench(func() error {
+			_, err := core.SolveChainDPMonotone(cp)
+			return err
+		}))
 		record(fmt.Sprintf("chain_dp_kernel/n=%d", n), n, bench(func() error {
-			_, err := core.SolveChainDP(cp)
+			_, err := core.SolveChainDPKernel(cp)
 			return err
 		}))
 		record(fmt.Sprintf("chain_dp_dense/n=%d", n), n, bench(func() error {
 			_, err := core.SolveChainDPDense(cp)
 			return err
+		}))
+	}
+
+	// Frontier points: the workload class E16 sweeps, at platform MTBF
+	// 1000 where the kernel scan's pruned look-ahead is longest. These
+	// record the monotone arm's headline wins in the trajectory: the
+	// ≥20× speedup over the kernel arm at n = 200,000 and the sub-second
+	// exact million-task solve.
+	if frontier {
+		const frontierLambda = 0.001
+		m, err := expectation.NewModel(frontierLambda, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		frontierChain := func(n int) (*core.ChainProblem, error) {
+			g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(1))
+			if err != nil {
+				return nil, err
+			}
+			cp, _, err := core.NewChainProblem(g, m, 0)
+			if err != nil {
+				return nil, err
+			}
+			return cp, nil
+		}
+		cp, err := frontierChain(200000)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.SolveChainDPMonotone(cp); err != nil {
+			return nil, err
+		}
+		record("chain_dp_monotone_frontier/n=200000", 200000, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveChainDPMonotone(cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		record("chain_dp_kernel_frontier/n=200000", 200000, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveChainDPKernel(cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		big, err := frontierChain(1000000)
+		if err != nil {
+			return nil, err
+		}
+		record("chain_dp_monotone_frontier/n=1000000", 1000000, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveChainDPMonotone(big); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}))
 	}
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -14,7 +15,7 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	simOut := filepath.Join(dir, "bench_sim.json")
 	dagOut := filepath.Join(dir, "bench_dag.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-simout", simOut, "-dagout", dagOut, "-benchtime", "1ms",
+	if code := run([]string{"-out", out, "-simout", simOut, "-dagout", dagOut, "-benchtime", "1ms", "-frontier=false",
 		"-sizes", "50,100", "-simprocs", "1,64", "-dagsizes", "7,10"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
@@ -26,9 +27,9 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	// Two solvers × two sizes + the sim steady-state loop.
-	if len(rep.Results) != 5 {
-		t.Fatalf("got %d results, want 5: %+v", len(rep.Results), rep.Results)
+	// Three solver arms × two sizes + the sim steady-state loop.
+	if len(rep.Results) != 7 {
+		t.Fatalf("got %d results, want 7: %+v", len(rep.Results), rep.Results)
 	}
 	byName := map[string]Measurement{}
 	for _, m := range rep.Results {
@@ -37,8 +38,10 @@ func TestBenchtrajWritesReport(t *testing.T) {
 		}
 		byName[m.Name] = m
 	}
-	if _, ok := byName["chain_dp_kernel/n=100"]; !ok {
-		t.Error("missing chain_dp_kernel/n=100")
+	for _, name := range []string{"chain_dp_monotone/n=100", "chain_dp_kernel/n=100", "chain_dp_dense/n=100"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
 	}
 	if m, ok := byName["sim_run_steady_state"]; !ok {
 		t.Error("missing sim_run_steady_state")
@@ -119,7 +122,7 @@ func TestBenchtrajSkipsSimReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-simout", "", "-dagout", "", "-benchtime", "1ms", "-sizes", "50"}, &stderr); code != 0 {
+	if code := run([]string{"-out", out, "-simout", "", "-dagout", "", "-benchtime", "1ms", "-frontier=false", "-sizes", "50"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	entries, err := os.ReadDir(dir)
@@ -128,6 +131,95 @@ func TestBenchtrajSkipsSimReport(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Errorf("empty -simout/-dagout must skip those trajectories; dir has %d files", len(entries))
+	}
+}
+
+// TestBenchtrajDirOutputs drives the "-out ./"-style mode: directory
+// paths keep the default filenames inside them.
+func TestBenchtrajDirOutputs(t *testing.T) {
+	dir := t.TempDir()
+	var stderr bytes.Buffer
+	if code := run([]string{"-out", dir + string(os.PathSeparator), "-simout", "", "-dagout", "", "-benchtime", "1ms", "-frontier=false", "-sizes", "50"}, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_chain_dp.json")); err != nil {
+		t.Errorf("default filename not created inside directory: %v", err)
+	}
+}
+
+// TestBenchtrajProfiles checks -cpuprofile/-memprofile produce files.
+func TestBenchtrajProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stderr bytes.Buffer
+	if code := run([]string{"-out", filepath.Join(dir, "b.json"), "-simout", "", "-dagout", "",
+		"-benchtime", "1ms", "-frontier=false", "-sizes", "50", "-cpuprofile", cpu, "-memprofile", mem}, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestBenchtrajDiff pins the snapshot comparator: regressions beyond
+// 25% and missing benchmarks warn, improvements and small movements
+// pass, and the exit code stays 0 (the trajectory warns, it does not
+// gate).
+func TestBenchtrajDiff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", Report{Results: []Measurement{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 100},
+	}})
+	fresh := write("new.json", Report{Results: []Measurement{
+		{Name: "a", NsPerOp: 110},  // +10%: fine
+		{Name: "b", NsPerOp: 200},  // 2x: regression
+		{Name: "new", NsPerOp: 50}, // no snapshot: informational
+	}})
+	var stderr bytes.Buffer
+	if code := run([]string{"-diff", old, fresh}, &stderr); code != 0 {
+		t.Fatalf("diff exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	for _, want := range []string{
+		"::warning title=benchtraj regression::b regressed 2.00x",
+		"::warning title=benchtraj regression::gone present in snapshot",
+		"2 warning(s)",
+		"(no snapshot)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "::warning title=benchtraj regression::a ") {
+		t.Errorf("diff flagged a 10%% movement as a regression:\n%s", out)
+	}
+	// Unreadable inputs are a hard error.
+	if code := run([]string{"-diff", filepath.Join(dir, "missing.json"), fresh}, &stderr); code != 2 {
+		t.Errorf("missing old file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-diff", old}, &stderr); code != 2 {
+		t.Errorf("one operand: exit %d, want 2", code)
 	}
 }
 

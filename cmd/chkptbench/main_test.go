@@ -9,7 +9,7 @@ import (
 
 func TestSelectExperiments(t *testing.T) {
 	all, err := selectExperiments("")
-	if err != nil || len(all) != 15 {
+	if err != nil || len(all) != 16 {
 		t.Fatalf("default selection: %d experiments, err %v", len(all), err)
 	}
 	sel, err := selectExperiments("E5, E1,E5")

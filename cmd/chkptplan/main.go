@@ -7,13 +7,20 @@
 //	chkptplan -workflow wf.json -lambda 0.01 -livecosts   # live-set cost model
 //	chkptplan -workflow wf.json -lambda 0.01 -baselines   # compare baselines
 //	chkptplan -workflow wf.json -lambda 0.01 -exact       # downset-lattice exact optimum
+//	chkptplan -workflow wf.json -lambda 0.01 -algo monotone  # pin a chain solver arm
 //
-// For linear chains the plan is optimal (Proposition 3). For general
-// DAGs the default is a heuristic portfolio of linearization strategies
-// with exact per-order placement (optimal ordering is strongly NP-hard
-// by Proposition 2); -exact instead runs the downset-lattice DP, which
-// returns the globally optimal order-plus-placement for graphs whose
-// lattice fits in memory (-maxstates caps it).
+// For linear chains the plan is optimal (Proposition 3). The chain
+// solver is a portfolio: -algo auto (default) runs the
+// quadrangle-inequality certifier and dispatches certified instances to
+// the O(n log n) monotone-matrix arm, falling back to the pruned kernel
+// scan; -algo monotone/kernel/dense pin one arm (monotone fails with
+// the certifier's reason on uncertified instances; dense is the seed
+// O(n²) reference). For general DAGs the default is a heuristic
+// portfolio of linearization strategies with exact per-order placement
+// (optimal ordering is strongly NP-hard by Proposition 2); -exact
+// instead runs the downset-lattice DP, which returns the globally
+// optimal order-plus-placement for graphs whose lattice fits in memory
+// (-maxstates caps it).
 package main
 
 import (
@@ -40,6 +47,7 @@ type config struct {
 	exact     bool
 	workers   int
 	maxStates int64
+	algo      string
 }
 
 func main() {
@@ -55,6 +63,7 @@ func main() {
 	flag.BoolVar(&cfg.exact, "exact", false, "solve general DAGs exactly over the downset lattice instead of the heuristic portfolio")
 	flag.IntVar(&cfg.workers, "workers", 0, "solver parallelism (0 = all CPUs)")
 	flag.Int64Var(&cfg.maxStates, "maxstates", 20_000_000, "state cap for the -exact lattice search, ~100 bytes/state — size it to available memory (0 = unlimited)")
+	flag.StringVar(&cfg.algo, "algo", "auto", "chain solver arm: auto (certifier-gated portfolio), monotone, kernel, or dense")
 	flag.Parse()
 	if cfg.wfPath == "" {
 		flag.Usage()
@@ -80,6 +89,11 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	switch cfg.algo {
+	case "", "auto", "monotone", "kernel", "dense":
+	default:
+		return fmt.Errorf("unknown -algo %q (want auto, monotone, kernel, or dense)", cfg.algo)
+	}
 	fmt.Printf("workflow: %d tasks, %d edges, total work %.4g\n", g.Len(), g.EdgeCount(), g.TotalWeight())
 	fmt.Printf("model: λ=%g (MTBF %.4g), D=%g, R₀=%g\n\n", cfg.lambda, 1/cfg.lambda, cfg.downtime, cfg.r0)
 
@@ -89,13 +103,41 @@ func run(cfg config) error {
 			return err
 		}
 		var res core.ChainResult
+		var stats core.DPStats
+		armNote := ""
 		if cfg.budget > 0 {
-			res, err = core.SolveChainDPBounded(cp, cfg.budget)
+			// The bounded solver only exists as the certifier-gated
+			// portfolio; refuse a pinned arm rather than silently ignore it.
+			if cfg.algo != "" && cfg.algo != "auto" {
+				return fmt.Errorf("-algo %s cannot be combined with -budget (the bounded solver is the auto-dispatching portfolio)", cfg.algo)
+			}
+			res, stats, err = core.SolveChainDPBoundedStats(cp, cfg.budget)
+			armNote = stats.Arm.String() + " (auto)"
 		} else {
-			res, err = core.SolveChainDP(cp)
+			switch cfg.algo {
+			case "auto", "":
+				res, stats, err = core.SolveChainDPStats(cp)
+				armNote = stats.Arm.String() + " (auto)"
+			case "monotone":
+				res, stats, err = core.SolveChainDPMonotoneStats(cp)
+				armNote = stats.Arm.String()
+			case "kernel":
+				res, stats, err = core.SolveChainDPKernelStats(cp)
+				armNote = stats.Arm.String()
+			case "dense":
+				res, err = core.SolveChainDPDense(cp)
+				armNote = "dense"
+			}
 		}
 		if err != nil {
 			return err
+		}
+		if armNote != "" {
+			if stats.Transitions > 0 {
+				fmt.Printf("chain solver arm: %s, %d oracle evaluations\n", armNote, stats.Transitions)
+			} else {
+				fmt.Printf("chain solver arm: %s\n", armNote)
+			}
 		}
 		printChainPlan(g, order, res)
 		printReport(cp, res)
@@ -105,6 +147,11 @@ func run(cfg config) error {
 		return writePlanFile(cfg.outPlan, core.Plan{Order: order, CheckpointAfter: res.CheckpointAfter})
 	}
 
+	// -algo selects among the chain solver arms; refuse a pinned arm on
+	// workflows that take the DAG paths rather than silently ignore it.
+	if cfg.algo != "" && cfg.algo != "auto" {
+		return fmt.Errorf("-algo %s only applies to linear chains without -livecosts (this workflow takes the DAG path)", cfg.algo)
+	}
 	var cm core.CostModel = core.LastTaskCosts{R0: cfg.r0}
 	if cfg.liveCosts {
 		cm = core.LiveSetCosts{R0: cfg.r0}

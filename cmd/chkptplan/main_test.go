@@ -35,6 +35,56 @@ func TestRunChainWorkflow(t *testing.T) {
 	}
 }
 
+// TestRunAlgoSelection drives every -algo arm on a chain workflow; the
+// default-weights chain certifies, so even the pinned monotone arm must
+// succeed, and an unknown arm must fail loudly.
+func TestRunAlgoSelection(t *testing.T) {
+	g, err := dag.Chain(10, dag.DefaultWeights(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeWorkflow(t, g)
+	for _, algo := range []string{"auto", "monotone", "kernel", "dense"} {
+		if err := run(config{wfPath: path, lambda: 0.02, downtime: 0.5, algo: algo}); err != nil {
+			t.Fatalf("run with -algo %s: %v", algo, err)
+		}
+	}
+	if err := run(config{wfPath: path, lambda: 0.02, algo: "quantum"}); err == nil {
+		t.Error("unknown -algo should fail")
+	}
+	// -budget only exists as the auto-dispatching portfolio: a pinned
+	// arm must be refused (not silently ignored), an unknown arm still
+	// rejected, and auto accepted.
+	if err := run(config{wfPath: path, lambda: 0.02, budget: 2, algo: "dense"}); err == nil {
+		t.Error("-algo dense with -budget should fail")
+	}
+	if err := run(config{wfPath: path, lambda: 0.02, budget: 2, algo: "quantum"}); err == nil {
+		t.Error("unknown -algo with -budget should fail")
+	}
+	if err := run(config{wfPath: path, lambda: 0.02, budget: 2, algo: "auto"}); err != nil {
+		t.Errorf("-algo auto with -budget: %v", err)
+	}
+	// Workflows taking the DAG paths refuse a pinned arm (and still
+	// reject unknown values) rather than silently ignoring -algo.
+	fj, err := dag.ForkJoin(2, 2, dag.DefaultWeights(), rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dagPath := writeWorkflow(t, fj)
+	if err := run(config{wfPath: dagPath, lambda: 0.02, algo: "dense"}); err == nil {
+		t.Error("-algo dense on a DAG workflow should fail")
+	}
+	if err := run(config{wfPath: dagPath, lambda: 0.02, algo: "quantum"}); err == nil {
+		t.Error("unknown -algo on a DAG workflow should fail")
+	}
+	if err := run(config{wfPath: path, lambda: 0.02, liveCosts: true, algo: "kernel"}); err == nil {
+		t.Error("-algo kernel with -livecosts should fail (live-set chains take the DAG path)")
+	}
+	if err := run(config{wfPath: dagPath, lambda: 0.02, algo: "auto"}); err != nil {
+		t.Errorf("-algo auto on a DAG workflow: %v", err)
+	}
+}
+
 func TestRunDAGWorkflow(t *testing.T) {
 	g, err := dag.ForkJoin(2, 2, dag.DefaultWeights(), rng.New(2))
 	if err != nil {

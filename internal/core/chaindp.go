@@ -21,11 +21,19 @@ func (r ChainResult) Positions() []int {
 	return checkpointPositions(r.CheckpointAfter)
 }
 
-// DPStats reports how much work a pruned DP actually did.
+// DPStats reports how much work a chain DP actually did and which arm
+// of the solver portfolio did it.
 type DPStats struct {
-	// Transitions counts evaluated DP transitions; the unpruned
-	// Proposition 3 recurrence evaluates n(n+1)/2 of them.
+	// Transitions counts cost-oracle evaluations (evaluated DP
+	// transitions for the scanning arms, Segment calls for the monotone
+	// arm); the unpruned Proposition 3 recurrence evaluates n(n+1)/2.
 	Transitions int64
+	// Arm reports which solver arm produced the result.
+	Arm ChainArm
+	// Certified reports the quadrangle-inequality certificate consulted
+	// by the dispatching portfolio (always true when Arm is ArmMonotone;
+	// false for the pinned kernel solvers, which skip certification).
+	Certified bool
 }
 
 // SolveChainDP computes the optimal checkpoint placement for the chain
@@ -33,17 +41,28 @@ type DPStats struct {
 //
 //	E(x) = min_{j ∈ [x, n)}  e^{λ·rec(x)} (1/λ + D)(e^{λ(Σ_{i=x}^{j} w_i + C_j)} − 1) + E(j+1)
 //
-// with E(n) = 0 and rec(x) = R₀ for x = 0, R_{x−1} otherwise, evaluated
-// through the segment-expectation kernel: per-problem exponential tables
-// make every transition a fused multiply (no transcendental calls), and
-// the kernel's exact monotone bound lets the inner scan stop as soon as
-// the segment term alone exceeds the incumbent — near-linear behavior on
-// realistic instances, O(n²) worst case. Pruning provably never changes
-// the result of the kernel scan (see expectation.SegmentKernel); against
-// the dense scan, the kernel's fast path may resolve candidates tied to
-// within its ~4·10⁻¹³ relative error the other way, so placements agree
-// except on such floating-point ties and values agree to that tolerance
-// (pinned by the property tests in kernel_property_test.go).
+// with E(n) = 0 and rec(x) = R₀ for x = 0, R_{x−1} otherwise. It is an
+// auto-dispatching portfolio over two exact arms sharing the
+// segment-expectation kernel (per-problem exponential tables: every
+// transition a fused multiply, no transcendental calls):
+//
+//   - instances whose segment-cost matrix the quadrangle-inequality
+//     certifier (expectation.CertifyQuadrangle) accepts run the
+//     totally-monotone-matrix arm: O(n log n) oracle evaluations worst
+//     case (see monotone.go), which opens million-position chains;
+//   - everything else falls back to the kernel scan, whose exact
+//     monotone bound stops each row as soon as the segment term alone
+//     exceeds the incumbent — near-linear on realistic instances, O(n²)
+//     worst case. Pruning provably never changes the result of the
+//     kernel scan (see expectation.SegmentKernel).
+//
+// Both arms resolve exact decision ties toward the earliest end
+// position, so they agree with each other except on ulp-scale
+// floating-point ties; against the dense scan, the kernel arithmetic
+// may resolve candidates tied to within its ~4·10⁻¹³ relative error the
+// other way, so placements agree except on such ties and values agree
+// to that tolerance (pinned by the property tests in
+// kernel_property_test.go and monotone_property_test.go).
 //
 // The reported Expected is re-accumulated over the chosen placement with
 // the reference arithmetic of Model.ExpectedTime, exactly as Algorithm 1
@@ -54,8 +73,9 @@ func SolveChainDP(cp *ChainProblem) (ChainResult, error) {
 	return res, err
 }
 
-// SolveChainDPStats is SolveChainDP, additionally reporting how many DP
-// transitions the pruned scan evaluated.
+// SolveChainDPStats is SolveChainDP, additionally reporting which arm
+// the portfolio dispatched to and how many cost-oracle evaluations it
+// made.
 func SolveChainDPStats(cp *ChainProblem) (ChainResult, DPStats, error) {
 	if err := cp.Validate(); err != nil {
 		return ChainResult{}, DPStats{}, err
@@ -64,21 +84,52 @@ func SolveChainDPStats(cp *ChainProblem) (ChainResult, DPStats, error) {
 	if err != nil {
 		return ChainResult{}, DPStats{}, err
 	}
-	n := cp.Len()
+	cert := kern.CertifyQuadrangle()
+	if cert.Certified {
+		next, evals := solveChainMonotoneRows(kern)
+		stats := DPStats{Transitions: evals, Arm: ArmMonotone, Certified: true}
+		return chainResultFromNext(cp, next), stats, nil
+	}
+	next, evals := solveChainKernelRows(kern)
+	stats := DPStats{Transitions: evals, Arm: ArmKernel}
+	return chainResultFromNext(cp, next), stats, nil
+}
+
+// SolveChainDPKernel pins the kernel-scan arm: it never consults the
+// certifier, so it serves as the universal fallback reference and the
+// kernel-arm baseline in benchmarks and experiments (E13, E16).
+func SolveChainDPKernel(cp *ChainProblem) (ChainResult, error) {
+	res, _, err := SolveChainDPKernelStats(cp)
+	return res, err
+}
+
+// SolveChainDPKernelStats is SolveChainDPKernel with the evaluated
+// transition count.
+func SolveChainDPKernelStats(cp *ChainProblem) (ChainResult, DPStats, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, DPStats{}, err
+	}
+	kern, err := cp.kernel()
+	if err != nil {
+		return ChainResult{}, DPStats{}, err
+	}
+	next, evals := solveChainKernelRows(kern)
+	return chainResultFromNext(cp, next), DPStats{Transitions: evals, Arm: ArmKernel}, nil
+}
+
+// solveChainKernelRows runs the pruned kernel scan over every row,
+// returning the per-row decisions and the evaluated transition count.
+func solveChainKernelRows(kern *expectation.SegmentKernel) ([]int, int64) {
+	n := kern.Len()
 	best := make([]float64, n+1)
 	next := make([]int, n) // next[x] = end position j of the first segment of the optimal suffix plan from x
-	var stats DPStats
+	var evals int64
 	for x := n - 1; x >= 0; x-- {
 		var scanned int64
 		best[x], next[x], scanned = prunedRow(kern, x, best)
-		stats.Transitions += scanned
+		evals += scanned
 	}
-	ck := make([]bool, n)
-	for x := 0; x < n; {
-		ck[next[x]] = true
-		x = next[x] + 1
-	}
-	return ChainResult{Expected: cp.expectedAlong(next), CheckpointAfter: ck}, stats, nil
+	return next, evals
 }
 
 // prunedRow scans one Algorithm 1 row: min over j ∈ [x, n) of

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/expectation"
+)
+
+// This file holds the monotone-matrix arms of the chain placement DPs:
+// near-linear exact solvers for instances whose segment-cost matrix is
+// certified totally monotone (concave quadrangle inequality, see
+// expectation.CertifyQuadrangle). SolveChainDP and SolveChainDPBounded
+// auto-dispatch onto them; SolveChainDPMonotone exposes the arm
+// directly and refuses uncertified instances.
+//
+//   - solveChainMonotoneRows: the self-referential suffix recurrence
+//     E(x) = min_j cost(x, j) + E(j+1) solved with the concave
+//     least-weight-subsequence candidate algorithm (Hirschberg–Larmore /
+//     Galil–Giancarlo family): a stack of candidates, each owning the
+//     interval of future rows where it is the incumbent minimum, with
+//     binary search for the single crossover the quadrangle inequality
+//     guarantees. O(n log n) cost-oracle evaluations worst case, O(n)
+//     when checkpoints are frequent.
+//   - boundedMonotoneLayers: the budgeted recurrence
+//     E_k(x) = min_j cost(x, j) + E_{k−1}(j+1) — each layer's tails come
+//     from the previous layer, so rows form an offline totally monotone
+//     matrix and divide-and-conquer over the monotone argmins solves a
+//     layer in O(n log n), O(k·n log n) in total.
+//
+// Both arms search with the kernel arithmetic (the same Segment oracle
+// the pruned kernel scan compares) and re-derive the reported Expected
+// through the reference arithmetic of Model.ExpectedTime, so a matching
+// placement yields a bit-identical value. Placements match the kernel
+// arm's except on ulp-scale floating-point decision ties (the same
+// caveat SolveChainDP documents for kernel-vs-dense), because both
+// resolve exact ties toward the earliest end position.
+
+// ChainArm identifies which solver arm produced a chain DP result.
+type ChainArm uint8
+
+const (
+	// ArmKernel is the pruned kernel scan (exact monotone bound, O(n²)
+	// worst case) — the arm every instance is eligible for.
+	ArmKernel ChainArm = iota
+	// ArmMonotone is the totally-monotone-matrix arm, dispatched only on
+	// instances certified by expectation.CertifyQuadrangle.
+	ArmMonotone
+	// ArmDense is the unaccelerated Proposition 3 loop (reference only;
+	// the dispatcher never selects it).
+	ArmDense
+)
+
+// String names the arm for stats reporting and CLI output.
+func (a ChainArm) String() string {
+	switch a {
+	case ArmKernel:
+		return "kernel"
+	case ArmMonotone:
+		return "monotone"
+	case ArmDense:
+		return "dense"
+	}
+	return "invalid"
+}
+
+// SolveChainDPMonotone computes the Proposition 3 optimum with the
+// monotone-matrix arm. It certifies the instance first and fails with
+// an error naming the broken condition when the segment-cost matrix is
+// not totally monotone — use SolveChainDP for the auto-dispatching
+// portfolio that falls back to the kernel arm instead.
+func SolveChainDPMonotone(cp *ChainProblem) (ChainResult, error) {
+	res, _, err := SolveChainDPMonotoneStats(cp)
+	return res, err
+}
+
+// SolveChainDPMonotoneStats is SolveChainDPMonotone, additionally
+// reporting the oracle-evaluation count.
+func SolveChainDPMonotoneStats(cp *ChainProblem) (ChainResult, DPStats, error) {
+	if err := cp.Validate(); err != nil {
+		return ChainResult{}, DPStats{}, err
+	}
+	kern, err := cp.kernel()
+	if err != nil {
+		return ChainResult{}, DPStats{}, err
+	}
+	cert := kern.CertifyQuadrangle()
+	if !cert.Certified {
+		return ChainResult{}, DPStats{}, fmt.Errorf("core: instance not certified totally monotone (%s); use SolveChainDP", cert.Reason)
+	}
+	next, evals := solveChainMonotoneRows(kern)
+	stats := DPStats{Transitions: evals, Arm: ArmMonotone, Certified: true}
+	return chainResultFromNext(cp, next), stats, nil
+}
+
+// span is one candidate's claim in the concave-LWS stack: end position
+// j is the incumbent minimum for every row in [lo, hi]. The stack keeps
+// lo strictly decreasing toward the top; the top span always starts at
+// row 0, and together the live spans cover every row the scan has yet
+// to visit.
+type span struct {
+	j, lo, hi int
+}
+
+// solveChainMonotoneRows runs the candidate algorithm over the kernel
+// oracle, returning the per-row decisions and the number of oracle
+// evaluations. Rows are processed right to left; the candidate ending
+// at j becomes available at row j and, by total monotonicity, beats an
+// older (larger-j) candidate on a down-set of rows — the single
+// crossover the binary search locates. Exact value ties resolve toward
+// the smaller end position, matching the dense scan's earliest-j rule.
+func solveChainMonotoneRows(kern *expectation.SegmentKernel) ([]int, int64) {
+	n := kern.Len()
+	best := make([]float64, n+1)
+	next := make([]int, n)
+	var evals int64
+	val := func(x, j int) float64 {
+		evals++
+		return kern.Segment(x, j) + best[j+1]
+	}
+	// wins reports whether the new candidate jn beats the incumbent jo
+	// at row x (ties to jn: jn < jo always holds here).
+	wins := func(x, jn, jo int) bool {
+		return val(x, jn) <= val(x, jo)
+	}
+	// maxWin returns the largest row in [lo, hi] where candidate jn
+	// still beats jo, or lo−1 when it never does. The win rows form a
+	// down-set (single crossover), and the crossover typically sits just
+	// below hi — segments are short when checkpoints are frequent — so
+	// it gallops down from hi with doubling steps before binary-searching
+	// the bracket: O(log(hi − t)) oracle calls instead of O(log(hi − lo)).
+	maxWin := func(lo, hi, jn, jo int) int {
+		if lo > hi {
+			return lo - 1
+		}
+		probe, step, lastLose := hi, 1, hi+1
+		for probe >= lo && !wins(probe, jn, jo) {
+			lastLose = probe
+			probe -= step
+			step <<= 1
+		}
+		t := probe // won there, or < lo when no win found yet
+		blo := max(probe+1, lo)
+		if probe < lo {
+			t = lo - 1
+		}
+		for bhi := lastLose - 1; blo <= bhi; {
+			mid := int(uint(blo+bhi) >> 1)
+			if wins(mid, jn, jo) {
+				t, blo = mid, mid+1
+			} else {
+				bhi = mid - 1
+			}
+		}
+		return t
+	}
+	st := make([]span, 0, 16)
+	for x := n - 1; x >= 0; x-- {
+		// rowVal/rowJ carry row x's minimum when the insertion already
+		// compared candidates at row x itself, saving the re-evaluation.
+		rowJ := -1
+		var rowVal float64
+		// Insert candidate j = x, the smallest end position so far: it
+		// can only win a down-set [0, t] of rows, so it competes upward
+		// from the stack top (the lowest-row span).
+		if len(st) == 0 {
+			st = append(st, span{j: x, lo: 0, hi: x})
+		} else {
+			wonUpTo := -1
+			for len(st) > 0 {
+				top := st[len(st)-1]
+				hiEff := min(top.hi, x)
+				vn, vo := val(hiEff, x), val(hiEff, top.j)
+				if vn <= vo {
+					wonUpTo = hiEff
+					if hiEff == x {
+						// Wins at the current row → wins every future row;
+						// retire every span a future row could still see.
+						rowJ, rowVal = x, vn
+						for len(st) > 0 && st[len(st)-1].lo <= x {
+							st = st[:len(st)-1]
+						}
+						break
+					}
+					st = st[:len(st)-1]
+					continue
+				}
+				if hiEff == x {
+					// Loses at the current row → the incumbent still owns it.
+					rowJ, rowVal = top.j, vo
+				}
+				// Loses at hiEff: the crossover sits inside [top.lo, hiEff).
+				if t := maxWin(top.lo, hiEff-1, x, top.j); t >= top.lo {
+					st[len(st)-1].lo = t + 1
+					if t > wonUpTo {
+						wonUpTo = t
+					}
+				}
+				break
+			}
+			if len(st) == 0 {
+				wonUpTo = x
+			}
+			if wonUpTo >= 0 {
+				st = append(st, span{j: x, lo: 0, hi: wonUpTo})
+			}
+		}
+		if rowJ < 0 {
+			// The owner of row x is the unique live span containing it:
+			// the stack's lo values decrease toward the top, so
+			// binary-search for the first (deepest) span with lo ≤ x.
+			lo, hi, owner := 0, len(st)-1, len(st)-1
+			for lo <= hi {
+				mid := int(uint(lo+hi) >> 1)
+				if st[mid].lo <= x {
+					owner, hi = mid, mid-1
+				} else {
+					lo = mid + 1
+				}
+			}
+			rowJ = st[owner].j
+			rowVal = val(x, rowJ)
+		}
+		best[x] = rowVal
+		next[x] = rowJ
+	}
+	return next, evals
+}
+
+// boundedMonotoneLayers runs the budgeted DP on a certified instance:
+// layer k's row minima are computed by divide-and-conquer over the
+// monotone argmins (the previous layer's values are fixed, so each
+// layer is an offline totally monotone matrix). Layer 1 is the single
+// mandatory segment to the end, filled directly like the kernel arm.
+// Returns per-layer values and decisions plus the oracle-evaluation
+// count. Exact value ties resolve toward the earliest end position
+// (the kernel arm's layered scan keeps the single-segment option on
+// ties instead — another ulp-scale-tie-only divergence).
+func boundedMonotoneLayers(kern *expectation.SegmentKernel, maxCheckpoints int) ([][]float64, [][]int, int64) {
+	n := kern.Len()
+	best := make([][]float64, maxCheckpoints+1)
+	next := make([][]int, maxCheckpoints+1)
+	var evals int64
+	for k := range best {
+		best[k] = make([]float64, n+1)
+		next[k] = make([]int, n)
+		for x := 0; x < n; x++ {
+			best[k][x] = infinity
+			next[k][x] = -1
+		}
+	}
+	for x := 0; x < n; x++ {
+		evals++
+		best[1][x] = kern.Segment(x, n-1)
+		next[1][x] = n - 1
+	}
+	slack := kern.Slack()
+	for k := 2; k <= maxCheckpoints; k++ {
+		tail := best[k-1]
+		cur, nxt := best[k], next[k]
+		// eval is the layer's matrix entry: segment [x, j] plus the
+		// budget-(k−1) tail (tail[n] = 0 covers the single-segment row).
+		eval := func(x, j int) float64 {
+			evals++
+			return kern.Segment(x, j) + tail[j+1]
+		}
+		var solve func(xlo, xhi, jlo, jhi int)
+		solve = func(xlo, xhi, jlo, jhi int) {
+			if xlo > xhi {
+				return
+			}
+			xm := int(uint(xlo+xhi) >> 1)
+			lo := max(jlo, xm)
+			bestE, bestJ := infinity, lo
+			for j := lo; j <= jhi; j++ {
+				if v := eval(xm, j); v < bestE {
+					bestE, bestJ = v, j
+				}
+				// The kernel's exact monotone bound applies per row just
+				// like in prunedRow: tails are nonnegative, so once the
+				// segment term alone exceeds the incumbent (with slack) no
+				// later candidate can strictly improve — pruning never
+				// changes the leftmost argmin.
+				if j+1 <= jhi && kern.Bound(xm, j+1) >= bestE*slack {
+					break
+				}
+			}
+			cur[xm], nxt[xm] = bestE, bestJ
+			solve(xlo, xm-1, jlo, bestJ)
+			solve(xm+1, xhi, bestJ, jhi)
+		}
+		solve(0, n-1, 0, n-1)
+	}
+	return best, next, evals
+}
+
+// chainResultFromNext reconstructs the checkpoint vector from per-row
+// decisions and re-derives the value through the reference arithmetic.
+func chainResultFromNext(cp *ChainProblem, next []int) ChainResult {
+	n := cp.Len()
+	ck := make([]bool, n)
+	for x := 0; x < n; {
+		ck[next[x]] = true
+		x = next[x] + 1
+	}
+	return ChainResult{Expected: cp.expectedAlong(next), CheckpointAfter: ck}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expectation"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// These property tests pin the monotone-matrix arm to the established
+// solvers — the kernel scan (which shares its oracle bit-for-bit), the
+// dense seed loop, the paper's memoized recursion, and brute force —
+// across the regimes the satellite checklist names: weights and costs
+// drawn from uniform/exponential/Weibull/log-normal laws, zero-cost
+// checkpoints, the expm1 small-argument regime, and the exp-overflow
+// boundary. They also pin the certifier-gated dispatch: certified
+// instances take the monotone arm, uncertified instances demonstrably
+// fall back to the kernel arm with identical results.
+
+// drawPositive samples one nonnegative parameter from the law-indexed
+// family (0 uniform, 1 exponential, 2 log-normal, 3 Weibull k=0.7), so
+// the equivalence sweep covers heavy-tailed and concentrated instances
+// alike.
+func drawPositive(r *rng.Stream, law int, scale float64) float64 {
+	switch law % 4 {
+	case 0:
+		return r.Range(0, scale)
+	case 1:
+		return scale * r.ExpFloat64()
+	case 2:
+		return scale * math.Exp(0.5*r.NormFloat64())
+	default:
+		u := r.Float64()
+		return scale * math.Pow(-math.Log1p(-u+1e-300), 1/0.7)
+	}
+}
+
+// randomLawChain draws a chain with parameters from the given law;
+// zeroFrac zeroes individual weights/costs to exercise exact ties.
+func randomLawChain(r *rng.Stream, n, law int, lambda, scale, zeroFrac float64) *ChainProblem {
+	cp := &ChainProblem{
+		Weights:         make([]float64, n),
+		Ckpt:            make([]float64, n),
+		Rec:             make([]float64, n),
+		InitialRecovery: r.Range(0, scale/10),
+		Model:           expectation.Model{Lambda: lambda, Downtime: r.Range(0, 2)},
+	}
+	draw := func(s float64) float64 {
+		if r.Float64() < zeroFrac {
+			return 0
+		}
+		return drawPositive(r, law, s)
+	}
+	for i := 0; i < n; i++ {
+		cp.Weights[i] = draw(scale)
+		cp.Ckpt[i] = draw(scale / 5)
+		cp.Rec[i] = draw(scale / 5)
+	}
+	return cp
+}
+
+// certify runs the certifier on the problem's kernel.
+func certify(t testing.TB, cp *ChainProblem) expectation.QICertificate {
+	kern, err := cp.kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kern.CertifyQuadrangle()
+}
+
+// checkChainEquivalence cross-checks every solver arm on one instance:
+// the dispatching portfolio, the pinned kernel arm, the dense loop, and
+// the recursion; on certified instances also the pinned monotone arm.
+// The portfolio must reproduce the arm it dispatched to bit-for-bit.
+func checkChainEquivalence(t *testing.T, tag string, cp *ChainProblem) {
+	t.Helper()
+	auto, stats, err := SolveChainDPStats(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel, err := SolveChainDPKernel(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := SolveChainDPDense(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := SolveChainDPRecursive(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := certify(t, cp)
+	if cert.Certified != (stats.Arm == ArmMonotone) {
+		t.Fatalf("%s: certificate %v but dispatched arm %s", tag, cert.Certified, stats.Arm)
+	}
+	if cert.Certified {
+		mono, mstats, err := SolveChainDPMonotoneStats(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mono.Expected != auto.Expected && !(math.IsNaN(mono.Expected) && math.IsNaN(auto.Expected)) {
+			t.Fatalf("%s: pinned monotone %v differs from dispatched portfolio %v", tag, mono.Expected, auto.Expected)
+		}
+		if mstats.Transitions != stats.Transitions {
+			t.Fatalf("%s: pinned monotone evals %d vs portfolio %d", tag, mstats.Transitions, stats.Transitions)
+		}
+		checkAgainst(t, tag+": monotone vs kernel", cp, mono, kernel, true)
+		checkAgainst(t, tag+": monotone vs dense", cp, mono, dense, true)
+		checkAgainst(t, tag+": monotone vs recursive", cp, mono, rec, false)
+	} else {
+		// Uncertified: the portfolio must be the kernel arm, verbatim.
+		if auto.Expected != kernel.Expected && !(math.IsNaN(auto.Expected) && math.IsNaN(kernel.Expected)) {
+			t.Fatalf("%s: fallback Expected %v differs from kernel arm %v", tag, auto.Expected, kernel.Expected)
+		}
+		for i := range auto.CheckpointAfter {
+			if auto.CheckpointAfter[i] != kernel.CheckpointAfter[i] {
+				t.Fatalf("%s: fallback placement differs from kernel arm at %d", tag, i)
+			}
+		}
+		if _, err := SolveChainDPMonotone(cp); err == nil {
+			t.Fatalf("%s: pinned monotone arm accepted an uncertified instance", tag)
+		}
+		checkAgainst(t, tag+": kernel vs dense", cp, auto, dense, true)
+	}
+}
+
+func TestMonotoneDPEquivalenceRandom(t *testing.T) {
+	r := rng.New(606)
+	lambdas := []float64{1e-9, 1e-6, 1e-3, 0.02, 0.3, 2}
+	for trial := 0; trial < 120; trial++ {
+		lambda := lambdas[trial%len(lambdas)]
+		law := trial % 4
+		n := 1 + int(r.Uint64()%48)
+		cp := randomLawChain(r, n, law, lambda, 10, 0.1)
+		checkChainEquivalence(t, "random law chain", cp)
+	}
+}
+
+// TestMonotoneDPZeroCostCheckpoints drives the all-zero-checkpoint and
+// mixed-zero regimes, where exact decision ties are common; both arms
+// must still resolve them toward the earliest end position.
+func TestMonotoneDPZeroCostCheckpoints(t *testing.T) {
+	r := rng.New(707)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + int(r.Uint64()%30)
+		cp := randomLawChain(r, n, trial, 0.05, 8, 0)
+		for i := range cp.Ckpt {
+			cp.Ckpt[i] = 0
+			if trial%2 == 0 {
+				cp.Rec[i] = 0
+			}
+		}
+		if trial%2 == 0 {
+			cp.InitialRecovery = 0
+			// With C ≡ 0 the end table climbs by λw ≥ 0 and with R ≡ 0 the
+			// start factor only decays, so these instances must certify.
+			if c := certify(t, cp); !c.Certified {
+				t.Fatalf("zero-cost chain must certify, got %q", c.Reason)
+			}
+		}
+		checkChainEquivalence(t, "zero-cost checkpoints", cp)
+	}
+}
+
+// TestMonotoneDPOverflowRegime mirrors TestKernelDPOverflowRegime for
+// the monotone arm: λ(W+C) crossing numeric.MaxExpArg must keep the
+// arms agreeing on representable plans (astronomically large values may
+// straddle +Inf between placements, like kernel-vs-dense).
+func TestMonotoneDPOverflowRegime(t *testing.T) {
+	r := rng.New(808)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + int(r.Uint64()%12)
+		cp := randomLawChain(r, n, trial, 1, 10, 0.05)
+		var total float64
+		for _, w := range cp.Weights {
+			total += w
+		}
+		if total == 0 {
+			continue
+		}
+		target := numeric.MaxExpArg * (0.5 + 1.5*r.Float64())
+		scale := target / total
+		for i := range cp.Weights {
+			cp.Weights[i] *= scale
+		}
+		checkChainEquivalence(t, "overflow regime", cp)
+	}
+}
+
+// TestMonotoneDPTinyLambda pins the expm1 regime λw ≪ 1: every oracle
+// call takes the stable path, so on matching placements all arms are
+// bit-identical to the dense reference.
+func TestMonotoneDPTinyLambda(t *testing.T) {
+	r := rng.New(909)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(r.Uint64()%30)
+		cp := randomLawChain(r, n, trial, 1e-12, 5, 0.1)
+		checkChainEquivalence(t, "expm1 regime", cp)
+	}
+}
+
+// TestMonotoneDispatchFallback pins the dispatch contract on handmade
+// instances from both sides of the certification boundary.
+func TestMonotoneDispatchFallback(t *testing.T) {
+	m := expectation.Model{Lambda: 0.1, Downtime: 0.5}
+	certified := &ChainProblem{
+		Weights: []float64{3, 4, 2, 5, 1},
+		Ckpt:    []float64{0.5, 0.5, 0.5, 0.5, 0.5},
+		Rec:     []float64{0.5, 0.5, 0.5, 0.5, 0.5},
+		Model:   m,
+	}
+	_, stats, err := SolveChainDPStats(certified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Arm != ArmMonotone || !stats.Certified {
+		t.Fatalf("homogeneous instance: arm %s certified %v, want monotone/true", stats.Arm, stats.Certified)
+	}
+
+	// A checkpoint-cost drop larger than the next weight breaks the end
+	// table's monotonicity → kernel fallback.
+	drop := &ChainProblem{
+		Weights: []float64{3, 0.1, 2, 5, 1},
+		Ckpt:    []float64{9, 0.1, 0.5, 0.5, 0.5},
+		Rec:     []float64{0.5, 0.5, 0.5, 0.5, 0.5},
+		Model:   m,
+	}
+	res, stats, err := SolveChainDPStats(drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Arm != ArmKernel || stats.Certified {
+		t.Fatalf("checkpoint-drop instance: arm %s certified %v, want kernel/false", stats.Arm, stats.Certified)
+	}
+	kres, kstats, err := SolveChainDPKernelStats(drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expected != kres.Expected || stats.Transitions != kstats.Transitions {
+		t.Fatalf("fallback result (%v, %d evals) differs from pinned kernel arm (%v, %d evals)",
+			res.Expected, stats.Transitions, kres.Expected, kstats.Transitions)
+	}
+
+	// A recovery-cost jump larger than the task weight breaks the start
+	// factor's monotonicity → kernel fallback.
+	jump := &ChainProblem{
+		Weights: []float64{3, 0.2, 2, 5, 1},
+		Ckpt:    []float64{0.5, 0.6, 0.7, 0.8, 0.9},
+		Rec:     []float64{0.1, 40, 0.5, 0.5, 0.5},
+		Model:   m,
+	}
+	if _, stats, err = SolveChainDPStats(jump); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Arm != ArmKernel {
+		t.Fatalf("recovery-jump instance dispatched to %s, want kernel", stats.Arm)
+	}
+	if _, err := SolveChainDPMonotone(jump); err == nil {
+		t.Fatal("pinned monotone arm accepted an uncertified instance")
+	}
+}
+
+// TestMonotoneMatchesKernelMedium locks the arms together on the E16
+// workload family at a size large enough for thousands of decision
+// rows: placements and reported values must be identical, which is what
+// keeps the experiment fingerprints byte-stable under dispatch.
+func TestMonotoneMatchesKernelMedium(t *testing.T) {
+	for _, lambda := range []float64{0.01, 0.001} {
+		r := rng.New(42)
+		n := 4000
+		cp := &ChainProblem{
+			Weights:         make([]float64, n),
+			Ckpt:            make([]float64, n),
+			Rec:             make([]float64, n),
+			InitialRecovery: 0,
+			Model:           expectation.Model{Lambda: lambda, Downtime: 0.5},
+		}
+		for i := 0; i < n; i++ {
+			cp.Weights[i] = r.Range(1, 10)
+			cp.Ckpt[i] = r.Range(0.05, 0.5)
+			cp.Rec[i] = cp.Ckpt[i]
+		}
+		mono, stats, err := SolveChainDPStats(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Arm != ArmMonotone {
+			t.Fatalf("λ=%v: expected monotone dispatch, got %s", lambda, stats.Arm)
+		}
+		kern, err := SolveChainDPKernel(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mono.Expected != kern.Expected {
+			t.Fatalf("λ=%v: Expected %v vs kernel %v", lambda, mono.Expected, kern.Expected)
+		}
+		for i := range mono.CheckpointAfter {
+			if mono.CheckpointAfter[i] != kern.CheckpointAfter[i] {
+				t.Fatalf("λ=%v: placement differs at %d", lambda, i)
+			}
+		}
+	}
+}
+
+// TestBoundedMonotoneEquivalence pins the budgeted monotone arm to the
+// kernel-scan arm and to brute force under every budget.
+func TestBoundedMonotoneEquivalence(t *testing.T) {
+	r := rng.New(1010)
+	for trial := 0; trial < 30; trial++ {
+		lambda := []float64{1e-6, 0.02, 0.5}[trial%3]
+		n := 2 + int(r.Uint64()%14)
+		cp := randomLawChain(r, n, trial, lambda, 8, 0.1)
+		kern, err := cp.kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := kern.CertifyQuadrangle()
+		for budget := 1; budget <= n; budget += 1 + n/4 {
+			got, stats, err := SolveChainDPBoundedStats(cp, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantArm := ArmKernel
+			if cert.Certified {
+				wantArm = ArmMonotone
+			}
+			if stats.Arm != wantArm {
+				t.Fatalf("bounded dispatch arm %s, want %s", stats.Arm, wantArm)
+			}
+			// Cross-check against the other arm's layered decisions.
+			kNext, _ := boundedKernelLayers(kern, min(budget, n))
+			kRes, err := boundedResultFromNext(cp, kNext, min(budget, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsInf(got.Expected, 1) && math.IsInf(kRes.Expected, 1) {
+				continue
+			}
+			if numeric.RelErr(got.Expected, kRes.Expected) > 1e-11 {
+				t.Fatalf("n=%d budget=%d: %s arm %v vs kernel layers %v", n, budget, stats.Arm, got.Expected, kRes.Expected)
+			}
+			if nCk := len(got.Positions()); nCk > budget {
+				t.Fatalf("budget %d exceeded: %d checkpoints", budget, nCk)
+			}
+		}
+	}
+}
+
+// FuzzChainDPMonotone fuzzes the full solver portfolio: any instance
+// the fuzzer can construct must keep the dispatched arm, the pinned
+// kernel arm, and the dense reference in agreement.
+func FuzzChainDPMonotone(f *testing.F) {
+	f.Add(uint64(1), uint(12), 0.02, 5.0, uint8(0))
+	f.Add(uint64(2), uint(30), 1e-9, 10.0, uint8(1))
+	f.Add(uint64(3), uint(7), 2.0, 100.0, uint8(2))
+	f.Add(uint64(4), uint(20), 0.3, 0.01, uint8(3))
+	f.Add(uint64(5), uint(3), 1.0, 2000.0, uint8(0))
+	// Fuzzer-found boundary cases: huge-magnitude values where the
+	// recursion's raw-weight final segment diverges from the prefix
+	// arithmetic by several ulps of λ·P(n).
+	f.Add(uint64(52), uint(129), 0.5555555555555556, 506.22222222222223, uint8(0x1a))
+	f.Add(uint64(121), uint(7), 0.051666666666666666, 3477.0, uint8(0xe2))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint, lambda, scale float64, law uint8) {
+		size := 1 + int(n%64)
+		if !(lambda > 0) || math.IsInf(lambda, 0) || math.IsNaN(lambda) {
+			t.Skip()
+		}
+		if !(scale >= 0) || math.IsInf(scale, 0) || scale > 1e12 {
+			t.Skip()
+		}
+		cp := randomLawChain(rng.New(seed), size, int(law), lambda, scale, 0.15)
+		checkChainEquivalence(t, "fuzz", cp)
+	})
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/expectation"
 )
 
 // This file holds solver variants beyond the paper's Algorithm 1:
@@ -16,28 +18,60 @@ import (
 // SolveChainDPBounded computes the optimal placement subject to using at
 // most maxCheckpoints checkpoints (including the mandatory final one).
 // The DP layers the Algorithm 1 recurrence by remaining budget:
-// E_k(x) = min_j segment(x, j) + E_{k−1}(j+1), for O(n²·k) transitions.
-// Transitions are evaluated through the segment-expectation kernel (the
-// segment term does not depend on the budget layer, so one kernel serves
-// every layer), and each layer's inner scan is pruned with the kernel's
-// exact monotone bound; the reported Expected is re-accumulated over the
-// chosen placement with the reference arithmetic, like SolveChainDP.
+// E_k(x) = min_j segment(x, j) + E_{k−1}(j+1). Like SolveChainDP it is
+// a certifier-gated portfolio: instances certified totally monotone run
+// the layered divide-and-conquer arm (O(k·n log n) oracle evaluations,
+// see boundedMonotoneLayers), everything else the kernel scan with the
+// exact monotone pruning bound (O(n²·k) worst case). Transitions are
+// evaluated through the segment-expectation kernel (the segment term
+// does not depend on the budget layer, so one kernel serves every
+// layer); the reported Expected is re-accumulated over the chosen
+// placement with the reference arithmetic, like SolveChainDP.
 func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, error) {
+	res, _, err := SolveChainDPBoundedStats(cp, maxCheckpoints)
+	return res, err
+}
+
+// SolveChainDPBoundedStats is SolveChainDPBounded, additionally
+// reporting the dispatched arm and its oracle-evaluation count.
+func SolveChainDPBoundedStats(cp *ChainProblem, maxCheckpoints int) (ChainResult, DPStats, error) {
 	if err := cp.Validate(); err != nil {
-		return ChainResult{}, err
+		return ChainResult{}, DPStats{}, err
 	}
 	n := cp.Len()
 	if maxCheckpoints < 1 {
-		return ChainResult{}, fmt.Errorf("core: need at least one checkpoint (the final one), got budget %d", maxCheckpoints)
+		return ChainResult{}, DPStats{}, fmt.Errorf("core: need at least one checkpoint (the final one), got budget %d", maxCheckpoints)
 	}
 	if maxCheckpoints > n {
 		maxCheckpoints = n
 	}
 	kern, err := cp.kernel()
 	if err != nil {
-		return ChainResult{}, err
+		return ChainResult{}, DPStats{}, err
 	}
+	var (
+		next  [][]int
+		stats DPStats
+	)
+	if cert := kern.CertifyQuadrangle(); cert.Certified {
+		var evals int64
+		_, next, evals = boundedMonotoneLayers(kern, maxCheckpoints)
+		stats = DPStats{Transitions: evals, Arm: ArmMonotone, Certified: true}
+	} else {
+		var evals int64
+		next, evals = boundedKernelLayers(kern, maxCheckpoints)
+		stats = DPStats{Transitions: evals, Arm: ArmKernel}
+	}
+	res, err := boundedResultFromNext(cp, next, maxCheckpoints)
+	return res, stats, err
+}
+
+// boundedKernelLayers runs the kernel-scan arm of the budgeted DP: each
+// layer's inner scan is pruned with the kernel's exact monotone bound.
+func boundedKernelLayers(kern *expectation.SegmentKernel, maxCheckpoints int) ([][]int, int64) {
+	n := kern.Len()
 	slack := kern.Slack()
+	var evals int64
 	// best[k][x]: optimal expected time for positions x..n−1 with at
 	// most k checkpoints. k = 0 is infeasible (every plan ends with a
 	// checkpoint).
@@ -54,6 +88,7 @@ func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, err
 	for k := 1; k <= maxCheckpoints; k++ {
 		for x := n - 1; x >= 0; x-- {
 			// Option: single segment to the end.
+			evals++
 			best[k][x] = kern.Segment(x, n-1)
 			next[k][x] = n - 1
 			if k == 1 {
@@ -61,6 +96,7 @@ func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, err
 			}
 			for j := x; j < n-1; j++ {
 				if best[k-1][j+1] != infinity {
+					evals++
 					cur := kern.Segment(x, j) + best[k-1][j+1]
 					if cur < best[k][x] {
 						best[k][x] = cur
@@ -73,6 +109,15 @@ func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, err
 			}
 		}
 	}
+	return next, evals
+}
+
+// boundedResultFromNext reconstructs the bounded plan from the layered
+// decisions and re-accumulates the value with the reference arithmetic,
+// associating like the layered recurrence (segment + suffix, right to
+// left).
+func boundedResultFromNext(cp *ChainProblem, next [][]int, maxCheckpoints int) (ChainResult, error) {
+	n := cp.Len()
 	ck := make([]bool, n)
 	k := maxCheckpoints
 	segStarts := make([]int, 0, maxCheckpoints)
@@ -90,8 +135,6 @@ func SolveChainDPBounded(cp *ChainProblem, maxCheckpoints int) (ChainResult, err
 			k--
 		}
 	}
-	// Re-accumulate the value with the reference arithmetic, associating
-	// like the layered recurrence (segment + suffix, right to left).
 	prefix := make([]float64, n+1)
 	for i, w := range cp.Weights {
 		prefix[i+1] = prefix[i] + w

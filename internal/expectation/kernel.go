@@ -66,6 +66,7 @@ type SegmentKernel struct {
 	startExp  []int32
 
 	amp    []float64 // amp[x] = e^{λ·rec(x)}·(1/λ + D); see recInf
+	lrec   []float64 // lrec[x] = λ·rec(x); the certifier compares these
 	recInf []bool    // λ·rec(x) > numeric.MaxExpArg → Segment is +Inf
 	sufMin []int32   // sufMin[j] = argmin_{k ≥ j} t[k]
 	slack  float64
@@ -119,6 +120,7 @@ func (k *SegmentKernel) Reinit(m Model, weights, ckpt, recBefore []float64) erro
 	k.startFrac = grow(k.startFrac, n)
 	k.startExp = grow(k.startExp, n)
 	k.amp = grow(k.amp, n)
+	k.lrec = grow(k.lrec, n)
 	k.recInf = grow(k.recInf, n)
 	k.sufMin = grow(k.sufMin, n)
 	k.prefix[0] = 0
@@ -134,6 +136,7 @@ func (k *SegmentKernel) Reinit(m Model, weights, ckpt, recBefore []float64) erro
 		f, e = numeric.ExpScaled(-k.u[i])
 		k.startFrac[i], k.startExp[i] = f, int32(e)
 		lr := m.Lambda * recBefore[i]
+		k.lrec[i] = lr
 		if lr > numeric.MaxExpArg {
 			k.recInf[i] = true
 			k.amp[i] = math.Inf(1)

@@ -83,7 +83,11 @@ func planE4(cfg Config) (*Plan, error) {
 				allWorse = allWorse && outs[j].Value.(bool)
 			}
 		}
-		convex := stats.IsConvex(ys, 1e-9)
+		// Relative tolerance: the probe's verdict must not depend on the
+		// instance's magnitude (the g(m) curve scales with the reduction's
+		// work volume), so slack is a few ulps of the local curve value
+		// rather than a fixed absolute cutoff.
+		convex := stats.IsConvexRel(ys, 1e-12)
 		argmin := stats.ArgminSlice(ys) + 1
 		gPrimeAtN := expectation.ProofGPrime(lambda, w, c, n)
 		exponent := math.Exp(lambda * (tVal + c))

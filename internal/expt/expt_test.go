@@ -27,8 +27,8 @@ func parseID(id string) (int, bool) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := expt.All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	for i, s := range all {
 		info := s.Info()
@@ -53,7 +53,7 @@ func TestByID(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := expt.IDs()
-	if len(ids) != 15 || ids[0] != "E1" || ids[14] != "E15" {
+	if len(ids) != 16 || ids[0] != "E1" || ids[15] != "E16" {
 		t.Errorf("IDs() = %v", ids)
 	}
 }

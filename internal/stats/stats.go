@@ -247,12 +247,32 @@ func (h *Histogram) Total() int64 {
 }
 
 // IsConvex reports whether the sequence ys is (discretely) convex:
-// ys[i+1] − ys[i] is nondecreasing, allowing tolerance tol for noise.
+// ys[i+1] − ys[i] is nondecreasing, allowing the absolute tolerance tol
+// for noise. The absolute slack makes the verdict scale-sensitive —
+// a curve in the millions needs a different tol than one near 1 — so
+// probes over instances of varying magnitude should use IsConvexRel.
 func IsConvex(ys []float64, tol float64) bool {
 	for i := 0; i+2 < len(ys); i++ {
 		d1 := ys[i+1] - ys[i]
 		d2 := ys[i+2] - ys[i+1]
 		if d2 < d1-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConvexRel is IsConvex with a relative tolerance: each second
+// difference may undershoot by relTol times the local magnitude
+// max(|ys[i]|, |ys[i+1]|, |ys[i+2]|, 1). The floor of 1 keeps the probe
+// meaningful for curves that pass near zero; relTol a few orders above
+// machine epsilon (e.g. 1e-12) absorbs rounding noise at any scale.
+func IsConvexRel(ys []float64, relTol float64) bool {
+	for i := 0; i+2 < len(ys); i++ {
+		d1 := ys[i+1] - ys[i]
+		d2 := ys[i+2] - ys[i+1]
+		scale := math.Max(math.Max(math.Abs(ys[i]), math.Abs(ys[i+1])), math.Max(math.Abs(ys[i+2]), 1))
+		if d2 < d1-relTol*scale {
 			return false
 		}
 	}

@@ -210,6 +210,33 @@ func TestIsConvex(t *testing.T) {
 	}
 }
 
+func TestIsConvexRel(t *testing.T) {
+	if !IsConvexRel([]float64{4, 1, 0, 1, 4}, 0) {
+		t.Error("parabola samples should be convex")
+	}
+	if IsConvexRel([]float64{0, 3, 1}, 1e-12) {
+		t.Error("non-convex sequence accepted")
+	}
+	// The point of the relative variant: an ulp-scale dip on a huge
+	// curve is noise, not concavity. The second difference here is
+	// −2e-9 absolute — a dozen ulps of the 1e6 magnitude, far below
+	// 1e-12 of it relatively.
+	big := []float64{1e6, 1e6 + 0.500000001, 1e6 + 1}
+	if !IsConvexRel(big, 1e-12) {
+		t.Error("ulp-scale dip on a large curve should pass the relative probe")
+	}
+	if IsConvex(big, 1e-14) {
+		t.Error("the absolute probe at a small tol is scale-sensitive by design (sanity check)")
+	}
+	// A genuine violation scales with the curve, so it still fails.
+	if IsConvexRel([]float64{1e6, 2e6, 1e6}, 1e-12) {
+		t.Error("genuinely concave large curve accepted")
+	}
+	if !IsConvexRel([]float64{1, 2}, 0) || !IsConvexRel(nil, 0) {
+		t.Error("short sequences are trivially convex")
+	}
+}
+
 func TestArgminSlice(t *testing.T) {
 	if got := ArgminSlice([]float64{3, 1, 2}); got != 1 {
 		t.Errorf("ArgminSlice = %d, want 1", got)
