@@ -583,6 +583,59 @@ func measureSim(procSizes []int) (*Report, error) {
 		}
 	}))
 
+	// Sharded campaigns: one op = the same CRN comparison run through the
+	// block-deterministic sharded pipeline and merged. Results are
+	// bit-identical across the shard counts, so these rows measure what
+	// sharding *costs*: the per-block setup and the per-block partial
+	// aggregates the deterministic merge keeps. Workers is pinned to 1 —
+	// on a multi-core host wall-clock scales with min(Workers, shards·…)
+	// but ns/op here tracks the single-threaded overhead trajectory.
+	for _, shards := range []int{1, 4, 16} {
+		so := sim.ShardOptions{
+			Options:   sim.Options{Downtime: 0.5, Workers: 1},
+			Seed:      9,
+			Runs:      crnRuns,
+			Shards:    shards,
+			BlockSize: 8, // 25 blocks, so the 16-shard split stays valid
+		}
+		record(fmt.Sprintf("campaign_sharded/shards=%d", shards), crnProcs, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.CampaignPlansSharded(plans, factory, so); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// Adaptive stopping vs fixed budget on the same comparator pair: the
+	// off arm spends the full per-candidate budget through the sharded
+	// pipeline; the on arm starts at a quarter of it and stops the pair
+	// as soon as its paired-delta CI excludes zero, so its ns/op records
+	// the realized saving on a pair that separates early.
+	fixedSo := sim.ShardOptions{Options: sim.Options{Downtime: 0.5, Workers: 1}, Seed: 9, Runs: crnRuns, Shards: 1}
+	record("campaign_adaptive/mode=off", crnProcs, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.CampaignPlansSharded(plans, factory, fixedSo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	adaptSo := sim.ShardOptions{Options: sim.Options{Downtime: 0.5, Workers: 1}, Seed: 9, Shards: 1}
+	record("campaign_adaptive/mode=on", crnProcs, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.CampaignPlansAdaptive(plans, factory, adaptSo, sim.AdaptiveOptions{
+				TargetWidth: 1e-9,
+				InitialRuns: crnRuns / 4,
+				MaxRuns:     crnRuns,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// Streaming vs sort quantiles: one op = four quantiles over a million
 	// samples. The P² path's story is the allocs/op column (O(1) memory
 	// vs an 8 MB copy per estimate).

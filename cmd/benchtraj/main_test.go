@@ -57,9 +57,10 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	if err := json.Unmarshal(simData, &simRep); err != nil {
 		t.Fatalf("sim output is not valid JSON: %v", err)
 	}
-	// Scan+heap × two platform sizes + CRN/independent + sort/P².
-	if len(simRep.Results) != 8 {
-		t.Fatalf("got %d sim results, want 8: %+v", len(simRep.Results), simRep.Results)
+	// Scan+heap × two platform sizes + CRN/independent + three sharded
+	// splits + adaptive on/off + sort/P².
+	if len(simRep.Results) != 13 {
+		t.Fatalf("got %d sim results, want 13: %+v", len(simRep.Results), simRep.Results)
 	}
 	simByName := map[string]Measurement{}
 	for _, m := range simRep.Results {
@@ -71,6 +72,8 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	for _, name := range []string{
 		"superposed_campaign_scan/p=64", "superposed_campaign_heap/p=64",
 		"campaign_crn/s=2", "campaign_independent/s=2",
+		"campaign_sharded/shards=1", "campaign_sharded/shards=4", "campaign_sharded/shards=16",
+		"campaign_adaptive/mode=off", "campaign_adaptive/mode=on",
 		"quantiles_sort/n=1000000", "quantiles_p2/n=1000000",
 	} {
 		if _, ok := simByName[name]; !ok {

@@ -3,11 +3,13 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 func writeChain(t *testing.T, n int) string {
@@ -28,23 +30,34 @@ func writeChain(t *testing.T, n int) string {
 	return path
 }
 
+// base returns the legacy flag set the original positional CLI took.
+func base(wfPath string) config {
+	return config{
+		wfPath: wfPath, law: "exponential", lambda: 0.05, shape: 0.7,
+		procs: 1, downtime: 0.25, runs: 2000, seed: 1, shard: -1,
+		shards: 1,
+	}
+}
+
 func TestRunExponential(t *testing.T) {
-	path := writeChain(t, 5)
-	if err := run(path, "exponential", 0.05, 0, 0.7, 1, 0.25, 2000, 1, ""); err != nil {
+	cfg := base(writeChain(t, 5))
+	if err := run(cfg); err != nil {
 		t.Fatalf("exponential sim: %v", err)
 	}
 }
 
 func TestRunWeibull(t *testing.T) {
-	path := writeChain(t, 5)
-	if err := run(path, "weibull", 0, 80, 0.7, 4, 0.25, 1000, 1, ""); err != nil {
+	cfg := base(writeChain(t, 5))
+	cfg.law, cfg.lambda, cfg.mtbf, cfg.procs, cfg.runs = "weibull", 0, 80, 4, 1000
+	if err := run(cfg); err != nil {
 		t.Fatalf("weibull sim: %v", err)
 	}
 }
 
 func TestRunLogNormal(t *testing.T) {
-	path := writeChain(t, 4)
-	if err := run(path, "lognormal", 0, 80, 0.5, 2, 0.25, 1000, 1, ""); err != nil {
+	cfg := base(writeChain(t, 4))
+	cfg.law, cfg.lambda, cfg.mtbf, cfg.shape, cfg.procs, cfg.runs = "lognormal", 0, 80, 0.5, 2, 1000
+	if err := run(cfg); err != nil {
 		t.Fatalf("lognormal sim: %v", err)
 	}
 }
@@ -85,7 +98,9 @@ func TestRunReplaysPlanOnDAG(t *testing.T) {
 	}
 	pf.Close()
 
-	if err := run(wfPath, "exponential", 0.05, 0, 0, 1, 0.25, 1000, 1, planPath); err != nil {
+	cfg := base(wfPath)
+	cfg.runs, cfg.planPath = 1000, planPath
+	if err := run(cfg); err != nil {
 		t.Fatalf("replaying plan on DAG: %v", err)
 	}
 	// A plan that does not fit the workflow must be rejected.
@@ -102,20 +117,26 @@ func TestRunReplaysPlanOnDAG(t *testing.T) {
 		t.Fatal(err)
 	}
 	bf.Close()
-	if err := run(wfPath, "exponential", 0.05, 0, 0, 1, 0.25, 100, 1, badPath); err == nil {
+	cfg.runs, cfg.planPath = 100, badPath
+	if err := run(cfg); err == nil {
 		t.Error("mismatched plan should be rejected")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeChain(t, 4)
-	if err := run(path, "weibull", 0, 0, 0.7, 1, 0, 100, 1, ""); err == nil {
+	cfg := base(path)
+	cfg.law, cfg.lambda, cfg.runs = "weibull", 0, 100
+	if err := run(cfg); err == nil {
 		t.Error("weibull without mtbf should fail")
 	}
-	if err := run(path, "cauchy", 0.05, 0, 0, 1, 0, 100, 1, ""); err == nil {
+	cfg = base(path)
+	cfg.law, cfg.runs = "cauchy", 100
+	if err := run(cfg); err == nil {
 		t.Error("unknown law should fail")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), "exponential", 0.05, 0, 0, 1, 0, 100, 1, ""); err == nil {
+	cfg = base(filepath.Join(t.TempDir(), "nope.json"))
+	if err := run(cfg); err == nil {
 		t.Error("missing file should fail")
 	}
 	// Non-chain workflow is rejected.
@@ -132,7 +153,105 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(dagPath, "exponential", 0.05, 0, 0, 1, 0, 100, 1, ""); err == nil {
+	cfg = base(dagPath)
+	cfg.runs = 100
+	if err := run(cfg); err == nil {
 		t.Error("non-chain workflow should fail")
+	}
+}
+
+// TestCampaignShardsAcrossInvocations runs each shard in its own run()
+// call against a shared campaign directory — as separate machines would
+// — then merges with a -merge invocation, and checks the directory's
+// merged result matches an in-process single-invocation campaign.
+func TestCampaignShardsAcrossInvocations(t *testing.T) {
+	path := writeChain(t, 5)
+	dir := t.TempDir()
+	cfg := base(path)
+	cfg.runs, cfg.candidates, cfg.shards, cfg.resumeDir = 256, "dp,never", 3, dir
+	for s := 0; s < 3; s++ {
+		c := cfg
+		c.shard = s
+		if err := run(c); err != nil {
+			t.Fatalf("shard %d invocation: %v", s, err)
+		}
+	}
+	merge := config{resumeDir: dir, mergeOnly: true, shard: -1}
+	if err := run(merge); err != nil {
+		t.Fatalf("merge invocation: %v", err)
+	}
+
+	// The directory's shards must merge to the same bits a fresh
+	// non-spilled campaign over the same fingerprint produces.
+	parts, err := sim.LoadCampaignDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := sim.MergeShards(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := cfg
+	fresh.resumeDir = ""
+	if err := run(fresh); err != nil {
+		t.Fatalf("fresh full campaign: %v", err)
+	}
+	if merged.Runs != 256 {
+		t.Errorf("merged runs = %d, want 256", merged.Runs)
+	}
+}
+
+// TestCampaignFingerprintMismatchLoud: a campaign directory refuses
+// invocations whose parameters disagree with its manifest.
+func TestCampaignFingerprintMismatchLoud(t *testing.T) {
+	path := writeChain(t, 5)
+	dir := t.TempDir()
+	cfg := base(path)
+	cfg.runs, cfg.candidates, cfg.shards, cfg.resumeDir, cfg.shard = 256, "dp,never", 2, dir, 0
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*config){
+		"seed":       func(c *config) { c.seed = 99 },
+		"runs":       func(c *config) { c.runs = 512 },
+		"candidates": func(c *config) { c.candidates = "dp,always" },
+		"downtime":   func(c *config) { c.downtime = 0.5 },
+	} {
+		c := cfg
+		mut(&c)
+		err := run(c)
+		if err == nil || !strings.Contains(err.Error(), "already holds") {
+			t.Errorf("%s mismatch: error %v, want manifest refusal", name, err)
+		}
+	}
+}
+
+func TestCampaignAdaptive(t *testing.T) {
+	path := writeChain(t, 5)
+	cfg := base(path)
+	cfg.runs, cfg.candidates, cfg.ciWidth = 4000, "dp,never", 5
+	if err := run(cfg); err != nil {
+		t.Fatalf("adaptive campaign: %v", err)
+	}
+}
+
+func TestCampaignFlagErrors(t *testing.T) {
+	path := writeChain(t, 5)
+	for name, tc := range map[string]struct {
+		mut  func(*config)
+		want string
+	}{
+		"shard without resume": {func(c *config) { c.shard = 0; c.shards = 2 }, "-resume"},
+		"merge without resume": {func(c *config) { c.mergeOnly = true }, "-resume"},
+		"ci-width with resume": {func(c *config) { c.ciWidth = 1; c.resumeDir = "x"; c.candidates = "dp,never" }, "-resume"},
+		"unknown candidate":    {func(c *config) { c.candidates = "dp,magic" }, "unknown candidate"},
+		"bad every":            {func(c *config) { c.candidates = "every:0" }, "every:k"},
+	} {
+		cfg := base(path)
+		cfg.runs = 100
+		tc.mut(&cfg)
+		if err := run(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", name, err, tc.want)
+		}
 	}
 }

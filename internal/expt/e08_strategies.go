@@ -207,8 +207,10 @@ func planE8(cfg Config) (*Plan, error) {
 					}
 					plans = append(plans, segs)
 				}
-				res, err := sim.CampaignPlans(plans, sim.ExponentialFactory(lambda),
-					sim.Options{Downtime: m.Downtime, Workers: 1}, simRuns, s.Split())
+				res, err := sim.CampaignPlansSharded(plans, sim.ExponentialFactory(lambda), sim.ShardOptions{
+					Options: sim.Options{Downtime: m.Downtime, Workers: 1},
+					Seed:    s.Split().Uint64(), Runs: simRuns, Shards: 1,
+				})
 				if err != nil {
 					return RowOut{}, err
 				}

@@ -115,7 +115,9 @@ func planE11(cfg Config) (*Plan, error) {
 					}
 					plans = append(plans, segs)
 				}
-				res, err := sim.CampaignPlans(plans, factory, opts, runs, s.Split())
+				res, err := sim.CampaignPlansSharded(plans, factory, sim.ShardOptions{
+					Options: opts, Seed: s.Split().Uint64(), Runs: runs, Shards: 1,
+				})
 				if err != nil {
 					return RowOut{}, err
 				}

@@ -32,7 +32,9 @@ type Config struct {
 	// full budget).
 	Quick bool
 	// CRN switches the strategy-comparison experiments (E8, E11) onto the
-	// common-random-number campaign (sim.CampaignPlans): every candidate
+	// common-random-number sharded campaign (sim.CampaignPlansSharded,
+	// single-shard so the table cells match the documented CRN
+	// fingerprints): every candidate
 	// strategy replays the same recorded failure environments, which
 	// tightens paired-delta confidence intervals at equal run counts and
 	// cuts the distribution sampling S-fold. Off by default because the

@@ -41,6 +41,12 @@ type CampaignResult struct {
 	Delta []stats.Summary
 	// Runs is the number of completed replications.
 	Runs int
+	// Digests holds per-candidate makespan t-digests when the campaign
+	// ran through the sharded pipeline (CampaignPlansSharded /
+	// MergeShards); nil from the legacy worker-partitioned entry
+	// points. Digest quantiles are pinned in quantile space — not
+	// bitwise — across shard counts; see stats.TDigest.
+	Digests []*stats.TDigest
 }
 
 // CampaignPlans runs a CRN comparator campaign over static plans: each

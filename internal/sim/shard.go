@@ -1,0 +1,714 @@
+package sim
+
+// Sharded, resumable CRN campaigns. The unit of determinism is the
+// *block*: a campaign of R replications is split into fixed-size blocks
+// whose count and contents depend only on (seed, runs, block size,
+// round) — never on the shard count or worker count. Block b draws its
+// randomness from the stateless derivation
+//
+//	rng.New(seed).Keyed(round).Keyed(b)
+//
+// and runs the PR 3 CRN trace-sharing loop over its replications. A
+// shard owns a contiguous range of blocks; merging folds the per-block
+// partial aggregates in global block order. Because the fold units and
+// the fold order are fixed, the merged means and paired deltas are
+// bit-identical for ANY shard count and ANY worker count — including
+// shards computed by separate processes and merged from their
+// serialized results (Summary.Merge is not floating-point associative,
+// so this property is exactly as strong as the fixed fold structure and
+// no stronger). T-digest sketches fold per shard and are pinned
+// *quantile-equivalent*, not bitwise, across shard counts; see
+// stats.TDigest.
+//
+// Resumability rides on the same block structure: with a spill
+// directory set, each shard writes its recorded failure traces block by
+// block (failure.TraceSpillWriter) and its final aggregate as JSON. A
+// killed campaign re-runs cheaply: finished shards load their results,
+// unfinished shards replay complete spilled blocks bit-identically
+// (failure.ReplayTrace) and simulate only the missing ones.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// maxCampaignBlocks caps the number of blocks (and hence the per-block
+// partial aggregates a merge retains) when the block size is derived
+// automatically.
+const maxCampaignBlocks = 4096
+
+// minCampaignBlockSize keeps blocks from degenerating to a handful of
+// replications, which would make the per-block setup (factory call,
+// trace allocation) a measurable fraction of the work.
+const minCampaignBlockSize = 32
+
+// CampaignFingerprint pins the exact sampling schedule of a sharded
+// campaign. Two invocations produce mergeable shards if and only if
+// their fingerprints are equal; every cross-process entry point checks
+// this and fails loudly on mismatch. Workers is deliberately absent:
+// the block model makes results independent of the worker count.
+type CampaignFingerprint struct {
+	Seed       uint64 `json:"seed"`
+	Runs       int    `json:"runs"`
+	BlockSize  int    `json:"block_size"`
+	Shards     int    `json:"shards"`
+	Candidates int    `json:"candidates"`
+	Round      uint64 `json:"round"`
+	// Workload hashes the candidate plans and the option fields that
+	// alter simulated trajectories (downtime, failure budget), so a
+	// merge of shards simulated against different workloads is refused
+	// even when their seeds agree.
+	Workload string `json:"workload"`
+}
+
+// String renders the fingerprint for error messages and spill headers.
+func (f CampaignFingerprint) String() string {
+	return fmt.Sprintf("seed=%d runs=%d block=%d shards=%d cands=%d round=%d workload=%s",
+		f.Seed, f.Runs, f.BlockSize, f.Shards, f.Candidates, f.Round, f.Workload)
+}
+
+// numBlocks returns the block count of the campaign.
+func (f CampaignFingerprint) numBlocks() int {
+	return (f.Runs + f.BlockSize - 1) / f.BlockSize
+}
+
+// blockRange returns the half-open block interval owned by shard s:
+// contiguous, balanced to within one block.
+func (f CampaignFingerprint) blockRange(s int) (lo, hi int) {
+	nb := f.numBlocks()
+	return s * nb / f.Shards, (s + 1) * nb / f.Shards
+}
+
+// blockRuns returns the replication count of block b.
+func (f CampaignFingerprint) blockRuns(b int) int {
+	if lo := b * f.BlockSize; lo+f.BlockSize > f.Runs {
+		return f.Runs - lo
+	}
+	return f.BlockSize
+}
+
+// ShardOptions configures a sharded campaign. The embedded Options are
+// honoured as in CampaignPlans, except that Workers no longer affects
+// results — only wall-clock time.
+type ShardOptions struct {
+	Options
+	// Seed is the campaign-level seed; shards derive their block
+	// streams from it statelessly, so separate processes agree.
+	Seed uint64
+	// Runs is the total replication count across all shards.
+	Runs int
+	// Shards is the number of partitions (≥ 1).
+	Shards int
+	// BlockSize overrides the deterministic-fold unit; 0 derives
+	// max(minCampaignBlockSize, ceil(Runs/maxCampaignBlocks)). The
+	// resolved value is part of the fingerprint: merges across
+	// different block sizes are refused.
+	BlockSize int
+	// Round salts every block stream; adaptive campaigns bump it per
+	// round so extension rounds draw fresh randomness.
+	Round uint64
+	// SpillDir, when set, makes the campaign resumable: each shard
+	// writes block traces to <dir>/shard-NNNN.trace as it goes and its
+	// aggregate to <dir>/shard-NNNN.json when done. On re-invocation,
+	// finished shards are loaded and interrupted ones replayed
+	// bit-identically from their spills.
+	SpillDir string
+}
+
+// resolve validates the options and computes the fingerprint.
+func (so ShardOptions) resolve(plans [][]core.Segment) (CampaignFingerprint, error) {
+	if so.Runs <= 0 {
+		return CampaignFingerprint{}, fmt.Errorf("sim: run count must be positive, got %d", so.Runs)
+	}
+	if so.Shards <= 0 {
+		return CampaignFingerprint{}, fmt.Errorf("sim: shard count must be positive, got %d", so.Shards)
+	}
+	if len(plans) == 0 {
+		return CampaignFingerprint{}, fmt.Errorf("sim: campaign needs at least one candidate plan")
+	}
+	if so.Downtime < 0 {
+		return CampaignFingerprint{}, fmt.Errorf("sim: negative downtime %v", so.Downtime)
+	}
+	bs := so.BlockSize
+	if bs < 0 {
+		return CampaignFingerprint{}, fmt.Errorf("sim: negative block size %d", so.BlockSize)
+	}
+	if bs == 0 {
+		bs = (so.Runs + maxCampaignBlocks - 1) / maxCampaignBlocks
+		if bs < minCampaignBlockSize {
+			bs = minCampaignBlockSize
+		}
+	}
+	fp := CampaignFingerprint{
+		Seed:       so.Seed,
+		Runs:       so.Runs,
+		BlockSize:  bs,
+		Shards:     so.Shards,
+		Candidates: len(plans),
+		Round:      so.Round,
+		Workload:   workloadHash(plans, so.Options),
+	}
+	if nb := fp.numBlocks(); so.Shards > nb {
+		return CampaignFingerprint{}, fmt.Errorf(
+			"sim: %d shards exceed the campaign's %d blocks (runs=%d, block=%d); lower the shard count or the block size",
+			so.Shards, nb, so.Runs, bs)
+	}
+	return fp, nil
+}
+
+// Fingerprint resolves the options against a candidate set and returns
+// the campaign fingerprint — what a coordinating caller (e.g. a CLI
+// writing a campaign manifest before dispatching shards to separate
+// invocations) must agree on for the shards to merge.
+func (so ShardOptions) Fingerprint(plans [][]core.Segment) (CampaignFingerprint, error) {
+	return so.resolve(plans)
+}
+
+// workloadHash digests everything that shapes simulated trajectories:
+// the candidate segment structure, the downtime and the failure budget.
+func workloadHash(plans [][]core.Segment, opts Options) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	put(opts.Downtime)
+	binary.LittleEndian.PutUint64(buf[:], uint64(opts.maxFailures()))
+	h.Write(buf[:])
+	for _, plan := range plans {
+		h.Write([]byte{0xff})
+		for _, seg := range plan {
+			put(seg.Work)
+			put(seg.Checkpoint)
+			put(seg.Recovery)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BlockAggregate is one block's partial campaign result: the fold unit
+// of the cross-shard merge.
+type BlockAggregate struct {
+	Block   int             `json:"block"`
+	Runs    int             `json:"runs"`
+	Results []MCResult      `json:"results"`
+	Delta   []stats.Summary `json:"delta"`
+}
+
+// ShardResult is one shard's complete output: per-block partials (kept
+// separate so the merge can fold in global block order) plus
+// per-candidate makespan digests folded over the shard's blocks.
+type ShardResult struct {
+	Fingerprint CampaignFingerprint `json:"fingerprint"`
+	Shard       int                 `json:"shard"`
+	Blocks      []BlockAggregate    `json:"blocks"`
+	Digests     []*stats.TDigest    `json:"digests"`
+}
+
+// testHookBlock, when non-nil, brackets every block execution. The
+// oversubscription audit uses it to measure peak block concurrency.
+var testHookBlock func(enter bool)
+
+// runBlock executes one block of the CRN loop. When replay is non-nil
+// the block re-materializes those recorded traces instead of drawing
+// from the factory; when rec is non-nil each replication's recorded
+// gaps are appended to it (the caller spills them).
+func runBlock(plans [][]core.Segment, factory ProcessFactory, opts Options, fp CampaignFingerprint, block int, replay *failure.SpilledBlock, rec *[][]float64) (BlockAggregate, []*stats.TDigest, error) {
+	if testHookBlock != nil {
+		testHookBlock(true)
+		defer testHookBlock(false)
+	}
+	cands := len(plans)
+	agg := BlockAggregate{
+		Block:   block,
+		Runs:    fp.blockRuns(block),
+		Results: make([]MCResult, cands),
+		Delta:   make([]stats.Summary, cands),
+	}
+	digests := make([]*stats.TDigest, cands)
+	for i := range digests {
+		digests[i] = stats.NewTDigest(stats.DefaultTDigestCompression)
+	}
+	makespans := make([]float64, cands)
+
+	if replay != nil && len(replay.Reps) != agg.Runs {
+		return BlockAggregate{}, nil, fmt.Errorf(
+			"sim: spilled block %d holds %d replications, campaign %s expects %d — spill belongs to a different campaign",
+			block, len(replay.Reps), fp, agg.Runs)
+	}
+
+	stream := rng.New(fp.Seed).Keyed(fp.Round).Keyed(uint64(block))
+	var trace *failure.RecordedTrace
+	var cursor *failure.TraceCursor
+	var resettable bool
+	if replay == nil {
+		src := factory(stream)
+		_, resettable = src.(failure.Resettable)
+		trace = failure.NewRecordedTrace(src)
+		cursor = trace.Cursor()
+	}
+	for rep := 0; rep < agg.Runs; rep++ {
+		if replay != nil {
+			trace = failure.ReplayTrace(replay.Reps[rep], 0)
+			cursor = trace.Cursor()
+		} else if rep > 0 {
+			if resettable {
+				trace.Reset()
+			} else {
+				src := factory(stream)
+				trace = failure.NewRecordedTrace(src)
+				cursor = trace.Cursor()
+			}
+		}
+		for cand := 0; cand < cands; cand++ {
+			cursor.Reset()
+			rs, err := Run(plans[cand], cursor, opts)
+			if err != nil {
+				return BlockAggregate{}, nil, err
+			}
+			agg.Results[cand].add(rs)
+			digests[cand].Add(rs.Makespan)
+			makespans[cand] = rs.Makespan
+		}
+		if replay != nil && trace.Exhausted() {
+			return BlockAggregate{}, nil, fmt.Errorf(
+				"sim: replay of block %d replication %d exhausted its spilled trace — spill was recorded under a different workload than %s",
+				block, rep, fp)
+		}
+		for cand := range agg.Delta {
+			agg.Delta[cand].Add(makespans[cand] - makespans[0])
+		}
+		if rec != nil {
+			*rec = append(*rec, append([]float64(nil), trace.Gaps()...))
+		}
+	}
+	return agg, digests, nil
+}
+
+// foldBlockDigests folds per-block digests into the shard accumulators
+// in block order (blocks arrive pre-sorted by the callers).
+func foldBlockDigests(acc, block []*stats.TDigest) []*stats.TDigest {
+	if acc == nil {
+		acc = make([]*stats.TDigest, len(block))
+		for i := range acc {
+			acc[i] = stats.NewTDigest(stats.DefaultTDigestCompression)
+		}
+	}
+	for i := range acc {
+		acc[i].Merge(block[i])
+	}
+	return acc
+}
+
+// CampaignPlansShard runs the blocks owned by one shard of a sharded
+// CRN campaign and returns that shard's partial result. Shards are
+// independent: separate processes may each run one (sharing only the
+// ShardOptions) and merge the results with MergeShards.
+//
+// With SpillDir set the shard is resumable: an existing result file for
+// the same fingerprint is returned as-is; an interrupted spill has its
+// complete blocks replayed bit-identically and only the rest simulated.
+// A result or spill recorded under a different fingerprint is a loud
+// error, never silently recomputed.
+func CampaignPlansShard(plans [][]core.Segment, factory ProcessFactory, so ShardOptions, shard int) (*ShardResult, error) {
+	fp, err := so.resolve(plans)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= fp.Shards {
+		return nil, fmt.Errorf("sim: shard %d out of range [0, %d)", shard, fp.Shards)
+	}
+	if so.SpillDir != "" {
+		return shardWithSpill(plans, factory, so, fp, shard)
+	}
+	return shardInMemory(plans, factory, so, fp, shard)
+}
+
+// shardInMemory executes a shard's blocks across the worker pool; block
+// results land in a slice indexed by block, so the fold order is
+// independent of scheduling.
+func shardInMemory(plans [][]core.Segment, factory ProcessFactory, so ShardOptions, fp CampaignFingerprint, shard int) (*ShardResult, error) {
+	lo, hi := fp.blockRange(shard)
+	n := hi - lo
+	out := &ShardResult{Fingerprint: fp, Shard: shard, Blocks: make([]BlockAggregate, n)}
+	digests := make([][]*stats.TDigest, n)
+	workers := so.workerCount(n)
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				agg, dig, err := runBlock(plans, factory, so.Options, fp, lo+i, nil, nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out.Blocks[i] = agg
+				digests[i] = dig
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, dig := range digests {
+		out.Digests = foldBlockDigests(out.Digests, dig)
+	}
+	return out, nil
+}
+
+// shardResultPath and shardSpillPath name a shard's artifacts inside a
+// campaign spill directory.
+func shardResultPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.json", shard))
+}
+
+func shardSpillPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.trace", shard))
+}
+
+// shardWithSpill is the resumable path: blocks run sequentially (the
+// spill is an ordered log), each block's traces written behind it.
+func shardWithSpill(plans [][]core.Segment, factory ProcessFactory, so ShardOptions, fp CampaignFingerprint, shard int) (*ShardResult, error) {
+	if err := os.MkdirAll(so.SpillDir, 0o755); err != nil {
+		return nil, err
+	}
+	// A finished shard: load, verify, return.
+	resPath := shardResultPath(so.SpillDir, shard)
+	if data, err := os.ReadFile(resPath); err == nil {
+		var prior ShardResult
+		if err := json.Unmarshal(data, &prior); err != nil {
+			return nil, fmt.Errorf("sim: corrupt shard result %s: %w", resPath, err)
+		}
+		if prior.Fingerprint != fp {
+			return nil, fmt.Errorf("sim: shard result %s was produced by campaign\n  %s\nbut this invocation is\n  %s\nrefusing to mix them", resPath, prior.Fingerprint, fp)
+		}
+		if prior.Shard != shard {
+			return nil, fmt.Errorf("sim: shard result %s claims shard %d", resPath, prior.Shard)
+		}
+		return &prior, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	lo, hi := fp.blockRange(shard)
+	out := &ShardResult{Fingerprint: fp, Shard: shard}
+	spillPath := shardSpillPath(so.SpillDir, shard)
+	var writer *failure.TraceSpillWriter
+	nextBlock := lo
+
+	if _, err := os.Stat(spillPath); err == nil {
+		// Interrupted run: replay the complete prefix bit-identically.
+		blocks, meta, _, offset, _, err := failure.ReadTraceSpill(spillPath)
+		if err != nil {
+			return nil, err
+		}
+		if meta != fp.String() {
+			return nil, fmt.Errorf("sim: spill %s was recorded by campaign\n  %s\nbut this invocation is\n  %s\nrefusing to replay it", spillPath, meta, fp)
+		}
+		for _, blk := range blocks {
+			if blk.Index != nextBlock {
+				return nil, fmt.Errorf("sim: spill %s holds block %d where block %d was expected", spillPath, blk.Index, nextBlock)
+			}
+			blk := blk
+			agg, dig, err := runBlock(plans, factory, so.Options, fp, blk.Index, &blk, nil)
+			if err != nil {
+				return nil, err
+			}
+			out.Blocks = append(out.Blocks, agg)
+			out.Digests = foldBlockDigests(out.Digests, dig)
+			nextBlock++
+		}
+		// Truncate the partial tail (if any) and continue appending.
+		writer, err = failure.AppendTraceSpill(spillPath, offset)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		writer, err = failure.CreateTraceSpill(spillPath, fp.String(), 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer writer.Close()
+
+	for b := nextBlock; b < hi; b++ {
+		var rec [][]float64
+		agg, dig, err := runBlock(plans, factory, so.Options, fp, b, nil, &rec)
+		if err != nil {
+			return nil, err
+		}
+		if err := writer.WriteBlock(b, rec); err != nil {
+			return nil, err
+		}
+		out.Blocks = append(out.Blocks, agg)
+		out.Digests = foldBlockDigests(out.Digests, dig)
+	}
+	if err := writer.Close(); err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicWriteFile(resPath, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// atomicWriteFile writes data to path via a temp file and rename, so a
+// kill mid-write never leaves a half-written result to be mistaken for
+// a finished shard.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// MergeShards folds shard results into the campaign aggregate. Every
+// shard must carry the same fingerprint, each shard index exactly once,
+// and together they must cover every block — anything else is a loud
+// error. Means and deltas fold in global block order (bit-identical for
+// any shard count); digests fold in shard order (quantile-equivalent).
+func MergeShards(parts []*ShardResult) (CampaignResult, error) {
+	if len(parts) == 0 {
+		return CampaignResult{}, fmt.Errorf("sim: no shard results to merge")
+	}
+	fp := parts[0].Fingerprint
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		if p.Fingerprint != fp {
+			return CampaignResult{}, fmt.Errorf("sim: shard fingerprints differ:\n  %s\n  %s\nrefusing to merge results from different campaigns", fp, p.Fingerprint)
+		}
+		if p.Shard < 0 || p.Shard >= fp.Shards {
+			return CampaignResult{}, fmt.Errorf("sim: shard index %d out of range [0, %d)", p.Shard, fp.Shards)
+		}
+		if seen[p.Shard] {
+			return CampaignResult{}, fmt.Errorf("sim: shard %d present twice in merge", p.Shard)
+		}
+		seen[p.Shard] = true
+	}
+	if len(parts) != fp.Shards {
+		missing := make([]string, 0)
+		for s := 0; s < fp.Shards; s++ {
+			if !seen[s] {
+				missing = append(missing, fmt.Sprint(s))
+			}
+		}
+		return CampaignResult{}, fmt.Errorf("sim: merge has %d of %d shards (missing %s)", len(parts), fp.Shards, strings.Join(missing, ", "))
+	}
+	ordered := append([]*ShardResult(nil), parts...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Shard < ordered[b].Shard })
+
+	out := CampaignResult{
+		Results: make([]MCResult, fp.Candidates),
+		Delta:   make([]stats.Summary, fp.Candidates),
+	}
+	nextBlock := 0
+	for _, p := range ordered {
+		lo, hi := fp.blockRange(p.Shard)
+		if len(p.Blocks) != hi-lo {
+			return CampaignResult{}, fmt.Errorf("sim: shard %d carries %d blocks, expected %d", p.Shard, len(p.Blocks), hi-lo)
+		}
+		for i, blk := range p.Blocks {
+			if blk.Block != nextBlock {
+				return CampaignResult{}, fmt.Errorf("sim: shard %d block %d has index %d, expected %d", p.Shard, i, blk.Block, nextBlock)
+			}
+			if len(blk.Results) != fp.Candidates || len(blk.Delta) != fp.Candidates {
+				return CampaignResult{}, fmt.Errorf("sim: shard %d block %d carries %d candidates, fingerprint says %d", p.Shard, blk.Block, len(blk.Results), fp.Candidates)
+			}
+			if blk.Runs != fp.blockRuns(blk.Block) {
+				return CampaignResult{}, fmt.Errorf("sim: shard %d block %d holds %d runs, expected %d", p.Shard, blk.Block, blk.Runs, fp.blockRuns(blk.Block))
+			}
+			for c := range out.Results {
+				out.Results[c].merge(blk.Results[c])
+				out.Delta[c].Merge(blk.Delta[c])
+			}
+			nextBlock++
+		}
+		if len(p.Digests) == fp.Candidates {
+			if out.Digests == nil {
+				out.Digests = make([]*stats.TDigest, fp.Candidates)
+				for i := range out.Digests {
+					out.Digests[i] = stats.NewTDigest(stats.DefaultTDigestCompression)
+				}
+			}
+			for c := range out.Digests {
+				out.Digests[c].Merge(p.Digests[c])
+			}
+		}
+	}
+	if nextBlock != fp.numBlocks() {
+		return CampaignResult{}, fmt.Errorf("sim: merge covered %d of %d blocks", nextBlock, fp.numBlocks())
+	}
+	out.Runs = out.Results[0].Runs
+	return out, nil
+}
+
+// CampaignPlansSharded runs every shard in this process and merges. It
+// is the drop-in sharded equivalent of CampaignPlans: same CRN loop,
+// but results are independent of both Shards and Workers, and carry
+// per-candidate makespan digests.
+//
+// Without a spill directory, shards run back to back and each spreads
+// its blocks over the worker pool. With one, the shards themselves
+// spread over the pool (each owns its spill file) and run their blocks
+// sequentially — total concurrency stays at Workers either way.
+func CampaignPlansSharded(plans [][]core.Segment, factory ProcessFactory, so ShardOptions) (CampaignResult, error) {
+	fp, err := so.resolve(plans)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	parts := make([]*ShardResult, fp.Shards)
+	if so.SpillDir == "" {
+		for s := 0; s < fp.Shards; s++ {
+			parts[s], err = CampaignPlansShard(plans, factory, so, s)
+			if err != nil {
+				return CampaignResult{}, err
+			}
+		}
+		return MergeShards(parts)
+	}
+	workers := so.workerCount(fp.Shards)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= fp.Shards {
+					return
+				}
+				res, err := CampaignPlansShard(plans, factory, so, s)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				parts[s] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return CampaignResult{}, err
+		}
+	}
+	return MergeShards(parts)
+}
+
+// campaignManifest is the cross-invocation coordination record a spill
+// directory carries: the fingerprint every shard invocation must match.
+type campaignManifest struct {
+	Fingerprint CampaignFingerprint `json:"fingerprint"`
+}
+
+const campaignManifestName = "campaign.json"
+
+// WriteCampaignManifest records the campaign fingerprint in dir. An
+// existing manifest for a different fingerprint is a loud error; an
+// identical one is idempotent.
+func WriteCampaignManifest(dir string, fp CampaignFingerprint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, campaignManifestName)
+	if prior, err := ReadCampaignManifest(dir); err == nil {
+		if prior != fp {
+			return fmt.Errorf("sim: %s already holds campaign\n  %s\nbut this invocation is\n  %s\nuse a fresh directory or matching parameters", path, prior, fp)
+		}
+		return nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	data, err := json.MarshalIndent(campaignManifest{Fingerprint: fp}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, data)
+}
+
+// ReadCampaignManifest loads the fingerprint recorded in dir.
+// os.ErrNotExist when the directory has no manifest.
+func ReadCampaignManifest(dir string) (CampaignFingerprint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, campaignManifestName))
+	if err != nil {
+		return CampaignFingerprint{}, err
+	}
+	var m campaignManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return CampaignFingerprint{}, fmt.Errorf("sim: corrupt campaign manifest in %s: %w", dir, err)
+	}
+	return m.Fingerprint, nil
+}
+
+// LoadCampaignDir loads every finished shard result present in dir,
+// verifying each against the manifest. Missing shards are not an error
+// here — MergeShards reports exactly which are absent.
+func LoadCampaignDir(dir string) ([]*ShardResult, error) {
+	fp, err := ReadCampaignManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var parts []*ShardResult
+	for s := 0; s < fp.Shards; s++ {
+		data, err := os.ReadFile(shardResultPath(dir, s))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		var sr ShardResult
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return nil, fmt.Errorf("sim: corrupt shard result for shard %d in %s: %w", s, dir, err)
+		}
+		if sr.Fingerprint != fp {
+			return nil, fmt.Errorf("sim: shard %d in %s was produced by campaign\n  %s\nbut the manifest says\n  %s", s, dir, sr.Fingerprint, fp)
+		}
+		parts = append(parts, &sr)
+	}
+	return parts, nil
+}

@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// shardTestPlans builds a small comparator workload: three plans over
+// the same total work with different checkpoint densities.
+func shardTestPlans() [][]core.Segment {
+	seg := func(w, c, r float64) core.Segment { return core.Segment{Work: w, Checkpoint: c, Recovery: r} }
+	return [][]core.Segment{
+		{seg(10, 1, 0.5)},
+		{seg(5, 1, 0.5), seg(5, 1, 0.5)},
+		{seg(2.5, 1, 0.5), seg(2.5, 1, 0.5), seg(2.5, 1, 0.5), seg(2.5, 1, 0.5)},
+	}
+}
+
+func sameSummary(a, b stats.Summary) bool {
+	return a.N() == b.N() &&
+		math.Float64bits(a.Mean()) == math.Float64bits(b.Mean()) &&
+		math.Float64bits(a.Variance()) == math.Float64bits(b.Variance()) &&
+		math.Float64bits(a.Min()) == math.Float64bits(b.Min()) &&
+		math.Float64bits(a.Max()) == math.Float64bits(b.Max())
+}
+
+func sameMCResult(a, b MCResult) bool {
+	return a.Runs == b.Runs &&
+		sameSummary(a.Makespan, b.Makespan) &&
+		sameSummary(a.Failures, b.Failures) &&
+		sameSummary(a.Lost, b.Lost) &&
+		sameSummary(a.Downtime, b.Downtime) &&
+		sameSummary(a.RecoveryTime, b.RecoveryTime) &&
+		sameSummary(a.Useful, b.Useful)
+}
+
+func sameCampaign(a, b CampaignResult) bool {
+	if a.Runs != b.Runs || len(a.Results) != len(b.Results) || len(a.Delta) != len(b.Delta) {
+		return false
+	}
+	for i := range a.Results {
+		if !sameMCResult(a.Results[i], b.Results[i]) || !sameSummary(a.Delta[i], b.Delta[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardMergeBitIdentical is the S3 property: merge(shards(R, k)) is
+// bit-identical to the single-shard run for every k, across failure
+// laws, repair policies and worker counts — the block-fold determinism
+// contract.
+func TestShardMergeBitIdentical(t *testing.T) {
+	weib, err := failure.NewWeibull(0.7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn, err := failure.NewLogNormal(3.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := map[string]ProcessFactory{
+		"exp":          ExponentialFactory(0.08),
+		"weibull-min":  SuperposedFactory(weib, 8, failure.RejuvenateFailedOnly),
+		"weibull-all":  SuperposedFactory(weib, 8, failure.RejuvenateAll),
+		"lognormal":    SuperposedFactory(logn, 8, failure.RejuvenateFailedOnly),
+		"lognormal-rj": SuperposedFactory(logn, 8, failure.RejuvenateAll),
+	}
+	plans := shardTestPlans()
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			base := ShardOptions{
+				Options:   Options{Downtime: 0.3, Workers: 1},
+				Seed:      9001,
+				Runs:      1024,
+				Shards:    1,
+				BlockSize: 64,
+			}
+			ref, err := CampaignPlansSharded(plans, factory, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Runs != base.Runs {
+				t.Fatalf("reference ran %d of %d", ref.Runs, base.Runs)
+			}
+			for _, k := range []int{1, 2, 7, 16} {
+				for _, workers := range []int{1, 4} {
+					so := base
+					so.Shards = k
+					so.Workers = workers
+					got, err := CampaignPlansSharded(plans, factory, so)
+					if err != nil {
+						t.Fatalf("k=%d workers=%d: %v", k, workers, err)
+					}
+					if !sameCampaign(ref, got) {
+						t.Errorf("k=%d workers=%d: merged result differs from single-shard run (mean %v vs %v, delta1 %v vs %v)",
+							k, workers, got.Results[0].Makespan.Mean(), ref.Results[0].Makespan.Mean(),
+							got.Delta[1].Mean(), ref.Delta[1].Mean())
+					}
+					// Digests are pinned in quantile space across shard
+					// counts, not bitwise.
+					for c := range got.Digests {
+						for _, q := range []float64{0.5, 0.9, 0.99} {
+							a, b := ref.Digests[c].Quantile(q), got.Digests[c].Quantile(q)
+							if math.Abs(a-b) > 0.05*math.Abs(a)+1e-9 {
+								t.Errorf("k=%d cand=%d q=%v: digest quantile %v vs reference %v", k, c, q, b, a)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesMCMarginal sanity-checks the pipeline end to end:
+// the sharded campaign's per-candidate mean agrees statistically with
+// an independent MonteCarlo of the same factory.
+func TestShardedMatchesMCMarginal(t *testing.T) {
+	plans := shardTestPlans()
+	factory := ExponentialFactory(0.08)
+	so := ShardOptions{Options: Options{Downtime: 0.3, Workers: 1}, Seed: 7, Runs: 6000, Shards: 4}
+	res, err := CampaignPlansSharded(plans, factory, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(plans[0], factory, so.Options, 6000, rng.New(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciC := res.Results[0].Makespan.CI(0.999)
+	ciM := mc.Makespan.CI(0.999)
+	if diff := math.Abs(res.Results[0].Makespan.Mean() - mc.Makespan.Mean()); diff > ciC+ciM {
+		t.Errorf("sharded mean %v vs MC mean %v differ by %v (> %v)",
+			res.Results[0].Makespan.Mean(), mc.Makespan.Mean(), diff, ciC+ciM)
+	}
+	// Digest median consistent with the summary range.
+	med := res.Digests[0].Quantile(0.5)
+	if med < res.Results[0].Makespan.Min() || med > res.Results[0].Makespan.Max() {
+		t.Errorf("digest median %v outside [%v, %v]", med, res.Results[0].Makespan.Min(), res.Results[0].Makespan.Max())
+	}
+}
+
+// countingFactory wraps a factory and counts invocations — the resume
+// test uses it to prove spilled blocks are replayed, not re-simulated.
+func countingFactory(inner ProcessFactory, n *atomic.Int64) ProcessFactory {
+	return func(r *rng.Stream) failure.Process {
+		n.Add(1)
+		return inner(r)
+	}
+}
+
+// TestShardSpillResume is the S3 resume property: kill a campaign
+// mid-shard (simulated by truncating the spill and removing the result
+// file), resume, and get the uninterrupted result bit-identically —
+// with completed blocks replayed from the spill rather than recomputed.
+func TestShardSpillResume(t *testing.T) {
+	plans := shardTestPlans()
+	factory := ExponentialFactory(0.08)
+	mk := func(dir string) ShardOptions {
+		return ShardOptions{
+			Options:   Options{Downtime: 0.3, Workers: 1},
+			Seed:      4242,
+			Runs:      512,
+			Shards:    4,
+			BlockSize: 32, // 16 blocks, 4 per shard
+			SpillDir:  dir,
+		}
+	}
+	// Reference: uninterrupted spilled run.
+	refDir := t.TempDir()
+	ref, err := CampaignPlansSharded(plans, factory, mk(refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupted run: shards 0 and 1 finish; shard 2 is killed after
+	// its spill gained 3 complete blocks plus a corrupt tail; shard 3
+	// never starts.
+	dir := t.TempDir()
+	so := mk(dir)
+	for s := 0; s < 3; s++ {
+		if _, err := CampaignPlansShard(plans, factory, so, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(shardResultPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	spill2 := shardSpillPath(dir, 2)
+	data, err := os.ReadFile(spill2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, meta, _, _, _, err := failure.ReadTraceSpill(spill2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 || meta == "" {
+		t.Fatalf("expected 4 complete spilled blocks, got %d", len(blocks))
+	}
+	// Truncate inside the last record: 3 complete blocks + torn tail.
+	if err := os.WriteFile(spill2, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	counted := countingFactory(factory, &calls)
+	resumed, err := CampaignPlansSharded(plans, counted, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCampaign(ref, resumed) {
+		t.Error("resumed campaign differs from uninterrupted run")
+	}
+	// Digest equivalence bitwise here: same fold structure either way.
+	for c := range ref.Digests {
+		for _, q := range []float64{0.5, 0.99} {
+			if a, b := ref.Digests[c].Quantile(q), resumed.Digests[c].Quantile(q); a != b {
+				t.Errorf("cand %d q=%v: resumed digest %v vs %v", c, q, b, a)
+			}
+		}
+	}
+	// Shards 0, 1 loaded from JSON (0 factory calls); shard 2 replayed
+	// 3 blocks (0 calls) and re-ran 1 (1 call); shard 3 ran 4 blocks
+	// (4 calls). The exponential process is Resettable, so each live
+	// block costs exactly one factory call.
+	if got := calls.Load(); got != 5 {
+		t.Errorf("resume made %d factory calls, want 5 (1 re-run + 4 fresh blocks)", got)
+	}
+}
+
+// TestShardFingerprintMismatches pins the loud-error contract on every
+// cross-process seam.
+func TestShardFingerprintMismatches(t *testing.T) {
+	plans := shardTestPlans()
+	factory := ExponentialFactory(0.08)
+	base := ShardOptions{Options: Options{Workers: 1}, Seed: 1, Runs: 256, Shards: 2, BlockSize: 32}
+
+	a0, err := CampaignPlansShard(plans, factory, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := CampaignPlansShard(plans, factory, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.Seed = 2
+	b1, err := CampaignPlansShard(plans, factory, other, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]*ShardResult{a0, b1}); err == nil || !strings.Contains(err.Error(), "fingerprints differ") {
+		t.Errorf("mixed-seed merge: %v", err)
+	}
+	if _, err := MergeShards([]*ShardResult{a0}); err == nil || !strings.Contains(err.Error(), "missing 1") {
+		t.Errorf("missing shard: %v", err)
+	}
+	if _, err := MergeShards([]*ShardResult{a0, a0}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate shard: %v", err)
+	}
+	if _, err := MergeShards(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := MergeShards([]*ShardResult{a0, a1}); err != nil {
+		t.Errorf("valid merge rejected: %v", err)
+	}
+
+	// Workload mismatch: same seed, different plans.
+	otherPlans := shardTestPlans()
+	otherPlans[0][0].Work *= 2
+	c0, err := CampaignPlansShard(otherPlans, factory, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]*ShardResult{c0, a1}); err == nil || !strings.Contains(err.Error(), "fingerprints differ") {
+		t.Errorf("mixed-workload merge: %v", err)
+	}
+
+	// Spill-dir seams.
+	dir := t.TempDir()
+	so := base
+	so.SpillDir = dir
+	if _, err := CampaignPlansShard(plans, factory, so, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Result file from a different campaign.
+	bad := so
+	bad.Seed = 99
+	if _, err := CampaignPlansShard(plans, factory, bad, 0); err == nil || !strings.Contains(err.Error(), "refusing to mix") {
+		t.Errorf("foreign result file: %v", err)
+	}
+	// Spill from a different campaign (result gone, trace remains).
+	if err := os.Remove(shardResultPath(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CampaignPlansShard(plans, factory, bad, 0); err == nil || !strings.Contains(err.Error(), "refusing to replay") {
+		t.Errorf("foreign spill: %v", err)
+	}
+	// Manifest seam.
+	if err := WriteCampaignManifest(dir, mustFingerprint(t, base, plans)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCampaignManifest(dir, mustFingerprint(t, bad, plans)); err == nil || !strings.Contains(err.Error(), "already holds") {
+		t.Errorf("manifest overwrite: %v", err)
+	}
+
+	// Option validation.
+	for _, tc := range []ShardOptions{
+		{Seed: 1, Runs: 0, Shards: 1},
+		{Seed: 1, Runs: 100, Shards: 0},
+		{Seed: 1, Runs: 100, Shards: 1, BlockSize: -3},
+		{Seed: 1, Runs: 64, Shards: 8, BlockSize: 32}, // 2 blocks < 8 shards
+	} {
+		if _, err := CampaignPlansSharded(plans, factory, tc); err == nil {
+			t.Errorf("options %+v accepted", tc)
+		}
+	}
+	if _, err := CampaignPlansShard(plans, factory, base, 7); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := CampaignPlansShard(nil, factory, base, 0); err == nil {
+		t.Error("empty plan set accepted")
+	}
+}
+
+func mustFingerprint(t *testing.T, so ShardOptions, plans [][]core.Segment) CampaignFingerprint {
+	t.Helper()
+	fp, err := so.resolve(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestShardWorkerDiscipline is the S1 oversubscription audit: when
+// expt-style row jobs (an outer worker pool) invoke sharded campaigns
+// with Workers: 1, total block concurrency never exceeds the outer pool
+// size; and a default-Workers campaign alone never exceeds GOMAXPROCS.
+func TestShardWorkerDiscipline(t *testing.T) {
+	plans := shardTestPlans()
+	factory := ExponentialFactory(0.08)
+	var inFlight, peak atomic.Int64
+	testHookBlock = func(enter bool) {
+		if enter {
+			v := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if v <= p || peak.CompareAndSwap(p, v) {
+					break
+				}
+			}
+		} else {
+			inFlight.Add(-1)
+		}
+	}
+	defer func() { testHookBlock = nil }()
+
+	const outer = 4
+	var wg sync.WaitGroup
+	for j := 0; j < outer; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			so := ShardOptions{
+				Options:   Options{Downtime: 0.3, Workers: 1},
+				Seed:      uint64(j),
+				Runs:      512,
+				Shards:    2,
+				BlockSize: 32,
+			}
+			if _, err := CampaignPlansSharded(plans, factory, so); err != nil {
+				t.Error(err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > outer {
+		t.Errorf("outer pool of %d with Workers:1 campaigns reached %d concurrent blocks", outer, p)
+	}
+
+	inFlight.Store(0)
+	peak.Store(0)
+	so := ShardOptions{Options: Options{Downtime: 0.3}, Seed: 5, Runs: 1024, Shards: 4, BlockSize: 32}
+	if _, err := CampaignPlansSharded(plans, factory, so); err != nil {
+		t.Fatal(err)
+	}
+	if maxProcs := int64(runtime.GOMAXPROCS(0)); peak.Load() > maxProcs {
+		t.Errorf("default-Workers campaign reached %d concurrent blocks, GOMAXPROCS=%d", peak.Load(), maxProcs)
+	}
+
+	// Spilled campaigns parallelize over shards instead of blocks; the
+	// same bound applies.
+	inFlight.Store(0)
+	peak.Store(0)
+	so.SpillDir = t.TempDir()
+	if _, err := CampaignPlansSharded(plans, factory, so); err != nil {
+		t.Fatal(err)
+	}
+	if maxProcs := int64(runtime.GOMAXPROCS(0)); peak.Load() > maxProcs {
+		t.Errorf("spilled campaign reached %d concurrent blocks, GOMAXPROCS=%d", peak.Load(), maxProcs)
+	}
+}

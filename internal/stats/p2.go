@@ -120,6 +120,17 @@ func (p *P2Quantile) linear(i int, s float64) float64 {
 // Value returns the current quantile estimate. For fewer than five
 // observations it interpolates the sorted buffer exactly, so small
 // streams degrade gracefully; NaN when empty.
+//
+// For n ≥ 5 the estimate interpolates the marker polyline (pos, heights)
+// at the desired rank 1 + q·(n−1) rather than returning the raw center
+// marker: right after initialization the center marker is the sample
+// median whatever q is, and it takes O(|q−0.5|·n) further observations
+// to drift to the target rank. At n = 5 the markers are exact order
+// statistics, so the interpolation is the exact empirical quantile for
+// any q; at large n the center marker position is within one rank of
+// the target and the correction is a vanishing fraction of the
+// inter-marker span, so the estimate coincides with the classic
+// heights[2] in the limit.
 func (p *P2Quantile) Value() float64 {
 	if p.n == 0 {
 		return math.NaN()
@@ -130,5 +141,12 @@ func (p *P2Quantile) Value() float64 {
 		sort.Float64s(buf)
 		return quantileSorted(buf, p.q)
 	}
-	return p.heights[2]
+	t := 1 + p.q*float64(p.n-1)
+	for i := 0; i < 4; i++ {
+		if t <= p.pos[i+1] {
+			frac := (t - p.pos[i]) / (p.pos[i+1] - p.pos[i])
+			return p.heights[i] + frac*(p.heights[i+1]-p.heights[i])
+		}
+	}
+	return p.heights[4]
 }

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -113,6 +114,39 @@ func (s *Summary) CI(level float64) float64 {
 func (s *Summary) Contains(v, level float64) bool {
 	half := s.CI(level)
 	return v >= s.mean-half && v <= s.mean+half
+}
+
+// summaryJSON is the wire form of a Summary: the exact Welford state,
+// so a summary serialized by one campaign shard and merged by another
+// process is bit-identical to an in-process merge. JSON float64
+// round-trips exactly (shortest-form encoding).
+type summaryJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the exact accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores a summary serialized by MarshalJSON.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var doc summaryJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.N < 0 {
+		return fmt.Errorf("stats: summary with negative count %d", doc.N)
+	}
+	if doc.N > 0 && (doc.M2 < 0 || doc.Min > doc.Max) {
+		return fmt.Errorf("stats: inconsistent summary state (n=%d m2=%v min=%v max=%v)", doc.N, doc.M2, doc.Min, doc.Max)
+	}
+	*s = Summary{n: doc.N, mean: doc.Mean, m2: doc.M2, min: doc.Min, max: doc.Max}
+	return nil
 }
 
 // String formats the summary for experiment tables.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -252,5 +253,43 @@ func TestMeanOf(t *testing.T) {
 	}
 	if got := MeanOf(nil); got != 0 {
 		t.Errorf("MeanOf(nil) = %v", got)
+	}
+}
+
+// TestSummaryJSONRoundTrip pins the cross-process merge contract: a
+// summary that travels through JSON merges bit-identically to one that
+// never left the process.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 1000; i++ {
+		a.Add(math.Sqrt(float64(i)) * 1.37)
+		b.Add(float64(i%7) - 3.1)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Fatalf("round trip changed state: %+v vs %+v", back, a)
+	}
+	direct, viaJSON := a, back
+	direct.Merge(b)
+	viaJSON.Merge(b)
+	if direct != viaJSON {
+		t.Error("merge after JSON round trip is not bit-identical")
+	}
+	for _, bad := range []string{
+		`{"n":-1,"mean":0,"m2":0,"min":0,"max":0}`,
+		`{"n":3,"mean":0,"m2":-1,"min":0,"max":1}`,
+		`{"n":3,"mean":0,"m2":1,"min":2,"max":1}`,
+	} {
+		var s Summary
+		if err := json.Unmarshal([]byte(bad), &s); err == nil {
+			t.Errorf("corrupt summary %s accepted", bad)
+		}
 	}
 }
