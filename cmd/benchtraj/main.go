@@ -2,11 +2,11 @@
 // chain-DP benchmarks programmatically (monotone-matrix arm vs kernel
 // fast path vs the dense Algorithm 1 scan, n ∈ {100, 1000, 5000} by
 // default) plus the steady-state simulation loop, and writes the
-// measurements as JSON. Snapshots of the three trajectories are checked
+// measurements as JSON. Snapshots of the four trajectories are checked
 // in at the repository root (BENCH_chain_dp.json, BENCH_sim.json,
-// BENCH_dag.json), so the repo carries its own perf history; the CI
-// bench job regenerates them and diffs fresh results against the
-// snapshots, warning on >25% ns/op regressions (see -diff).
+// BENCH_dag.json, BENCH_exec.json), so the repo carries its own perf
+// history; the CI bench job regenerates them and diffs fresh results
+// against the snapshots, warning on >25% ns/op regressions (see -diff).
 //
 // It also emits a second trajectory, BENCH_sim.json, for the Monte-Carlo
 // backbone: scan-vs-heap superposed-platform campaigns at
@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	benchtraj                       # write BENCH_chain_dp.json + BENCH_sim.json + BENCH_dag.json
+//	benchtraj                       # write all four BENCH_*.json trajectories
 //	benchtraj -out ./               # output paths may be directories (default filenames inside)
 //	benchtraj -out results.json     # choose the chain-DP output path
 //	benchtraj -simout sim.json      # choose the sim output path ("" skips it)
@@ -45,12 +45,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/exec"
 	"repro/internal/expectation"
 	"repro/internal/expt"
 	"repro/internal/failure"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Measurement is one benchmark's recorded trajectory point.
@@ -85,6 +87,7 @@ func run(args []string, stderr io.Writer) int {
 		out        = fs.String("out", "BENCH_chain_dp.json", "output JSON path (a directory keeps the default filename inside it)")
 		simOut     = fs.String("simout", "BENCH_sim.json", "Monte-Carlo backbone output JSON path (empty to skip; directories as for -out)")
 		dagOut     = fs.String("dagout", "BENCH_dag.json", "DAG lattice-vs-factorial output JSON path (empty to skip; directories as for -out)")
+		execOut    = fs.String("execout", "BENCH_exec.json", "crash-safe executor output JSON path (empty to skip; directories as for -out)")
 		benchtime  = fs.Duration("benchtime", 500*time.Millisecond, "target measurement time per benchmark")
 		sizesFlag  = fs.String("sizes", "100,1000,5000", "comma-separated chain lengths")
 		procsFlag  = fs.String("simprocs", "1,1000,65536", "comma-separated platform sizes for scan-vs-heap campaigns")
@@ -134,6 +137,7 @@ func run(args []string, stderr io.Writer) int {
 	resolveOut(out, "BENCH_chain_dp.json")
 	resolveOut(simOut, "BENCH_sim.json")
 	resolveOut(dagOut, "BENCH_dag.json")
+	resolveOut(execOut, "BENCH_exec.json")
 	// testing.Benchmark sizes its runs from the -test.benchtime flag;
 	// register the testing flags and set it to our budget.
 	testing.Init()
@@ -202,6 +206,17 @@ func run(args []string, stderr io.Writer) int {
 			return 1
 		}
 		if err := writeReport(*dagOut, dagReport, stderr); err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+	}
+	if *execOut != "" {
+		execReport, err := measureExec()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
+			return 1
+		}
+		if err := writeReport(*execOut, execReport, stderr); err != nil {
 			fmt.Fprintf(stderr, "benchtraj: %v\n", err)
 			return 1
 		}
@@ -670,6 +685,114 @@ func measureSim(procSizes []int) (*Report, error) {
 			}
 		}
 	}))
+	return report, nil
+}
+
+// measureExec builds the crash-safe runtime trajectory
+// (BENCH_exec.json): one full plan execution on the sim steady-state
+// workload (64-task chain, λ = 0.05, DP placement) bare and through
+// each checkpoint store, so the store columns read directly as the
+// runtime's persistence overhead; plus raw store Save throughput on a
+// state-sized payload, where the file row's extra ns/op is the fsync'd
+// atomic rename the crash-durability contract pays for.
+func measureExec() (*Report, error) {
+	report := &Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Unix:      time.Now().Unix(),
+	}
+	record := func(name string, n int, r testing.BenchmarkResult) {
+		report.Results = append(report.Results, Measurement{
+			Name:        name,
+			N:           n,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	g, err := dag.Chain(64, dag.DefaultWeights(), rng.New(5))
+	if err != nil {
+		return nil, err
+	}
+	m, err := expectation.NewModel(0.05, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := core.SolveChainDP(cp)
+	if err != nil {
+		return nil, err
+	}
+	w, err := exec.NewChainWorkload(cp, dp.CheckpointAfter)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "benchtraj-exec-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	fileStore, err := store.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	src := exec.NewKeyedSource(failure.Exponential{Lambda: 0.05}, 6, 1)
+	// One op = one complete execution (plus, for the stored variants,
+	// purging the run so the next op starts cold rather than resuming).
+	benchExec := func(st store.Store) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src.Reset()
+				opts := exec.Options{Downtime: 0.5}
+				if st != nil {
+					opts.RunID, opts.Store = "bench", st
+				}
+				if _, err := exec.Execute(w, src, opts); err != nil {
+					b.Fatal(err)
+				}
+				if st != nil {
+					seqs, err := st.List("bench")
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, seq := range seqs {
+						if err := st.Delete("bench", seq); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+	record("exec_run/store=none", 64, benchExec(nil))
+	record("exec_run/store=mem", 64, benchExec(store.Checked(store.NewMemStore())))
+	record("exec_run/store=file", 64, benchExec(store.Checked(fileStore)))
+
+	// Raw store Save on a checkpoint-state-sized payload (4 KiB): the
+	// codec seal plus the store's write path; the file store's cost is
+	// dominated by the fsync + atomic-rename durability contract.
+	payload := make([]byte, 4096)
+	r := rng.New(17)
+	for i := range payload {
+		payload[i] = byte(r.Uint64())
+	}
+	benchSave := func(st store.Store) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := st.Save("save", uint64(i%8)+1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	record("store_save/kind=mem", 4096, benchSave(store.Checked(store.NewMemStore())))
+	record("store_save/kind=file", 4096, benchSave(store.Checked(fileStore)))
 	return report, nil
 }
 

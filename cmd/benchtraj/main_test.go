@@ -14,8 +14,9 @@ func TestBenchtrajWritesReport(t *testing.T) {
 	out := filepath.Join(dir, "bench.json")
 	simOut := filepath.Join(dir, "bench_sim.json")
 	dagOut := filepath.Join(dir, "bench_dag.json")
+	execOut := filepath.Join(dir, "bench_exec.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-simout", simOut, "-dagout", dagOut, "-benchtime", "1ms", "-frontier=false",
+	if code := run([]string{"-out", out, "-simout", simOut, "-dagout", dagOut, "-execout", execOut, "-benchtime", "1ms", "-frontier=false",
 		"-sizes", "50,100", "-simprocs", "1,64", "-dagsizes", "7,10"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
@@ -119,13 +120,41 @@ func TestBenchtrajWritesReport(t *testing.T) {
 			t.Errorf("%s records no peak state count", name)
 		}
 	}
+
+	execData, err := os.ReadFile(execOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execRep Report
+	if err := json.Unmarshal(execData, &execRep); err != nil {
+		t.Fatalf("exec output is not valid JSON: %v", err)
+	}
+	execByName := map[string]Measurement{}
+	for _, m := range execRep.Results {
+		if m.NsPerOp <= 0 || m.Iterations <= 0 {
+			t.Errorf("%s: empty measurement %+v", m.Name, m)
+		}
+		execByName[m.Name] = m
+	}
+	// Three executor rows (bare + two stores) and two raw Save rows.
+	for _, name := range []string{
+		"exec_run/store=none", "exec_run/store=mem", "exec_run/store=file",
+		"store_save/kind=mem", "store_save/kind=file",
+	} {
+		if _, ok := execByName[name]; !ok {
+			t.Errorf("missing %s (have %v)", name, execRep.Results)
+		}
+	}
+	if len(execRep.Results) != 5 {
+		t.Errorf("got %d exec results, want 5", len(execRep.Results))
+	}
 }
 
 func TestBenchtrajSkipsSimReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", out, "-simout", "", "-dagout", "", "-benchtime", "1ms", "-frontier=false", "-sizes", "50"}, &stderr); code != 0 {
+	if code := run([]string{"-out", out, "-simout", "", "-dagout", "", "-execout", "", "-benchtime", "1ms", "-frontier=false", "-sizes", "50"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	entries, err := os.ReadDir(dir)
@@ -142,7 +171,7 @@ func TestBenchtrajSkipsSimReport(t *testing.T) {
 func TestBenchtrajDirOutputs(t *testing.T) {
 	dir := t.TempDir()
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", dir + string(os.PathSeparator), "-simout", "", "-dagout", "", "-benchtime", "1ms", "-frontier=false", "-sizes", "50"}, &stderr); code != 0 {
+	if code := run([]string{"-out", dir + string(os.PathSeparator), "-simout", "", "-dagout", "", "-execout", "", "-benchtime", "1ms", "-frontier=false", "-sizes", "50"}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
 	if _, err := os.Stat(filepath.Join(dir, "BENCH_chain_dp.json")); err != nil {
@@ -156,7 +185,7 @@ func TestBenchtrajProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var stderr bytes.Buffer
-	if code := run([]string{"-out", filepath.Join(dir, "b.json"), "-simout", "", "-dagout", "",
+	if code := run([]string{"-out", filepath.Join(dir, "b.json"), "-simout", "", "-dagout", "", "-execout", "",
 		"-benchtime", "1ms", "-frontier=false", "-sizes", "50", "-cpuprofile", cpu, "-memprofile", mem}, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}

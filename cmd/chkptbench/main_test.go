@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/expt"
 )
 
 func TestSelectExperiments(t *testing.T) {
 	all, err := selectExperiments("")
-	if err != nil || len(all) != 16 {
+	if err != nil || len(all) != len(expt.All()) {
 		t.Fatalf("default selection: %d experiments, err %v", len(all), err)
 	}
 	sel, err := selectExperiments("E5, E1,E5")

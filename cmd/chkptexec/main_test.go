@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// writeWorkflow materializes a graph as a workflow JSON file in dir.
+func writeWorkflow(t *testing.T, dir string, g *dag.Graph) string {
+	t.Helper()
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wf.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func chainWorkflow(t *testing.T, dir string, n int) string {
+	t.Helper()
+	g, err := dag.Chain(n, dag.DefaultWeights(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeWorkflow(t, dir, g)
+}
+
+func baseConfig(wf string) config {
+	return config{
+		wfPath: wf, lambda: 0.05, downtime: 1, seed: 3,
+		runs: 500, strategy: "dp", costmodel: "last-task", runID: "run",
+	}
+}
+
+// TestCampaignChain checks the default mode end to end: the realized
+// mean is reported against the planned expectation.
+func TestCampaignChain(t *testing.T) {
+	wf := chainWorkflow(t, t.TempDir(), 12)
+	var out bytes.Buffer
+	if err := run(baseConfig(wf), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"plan: chain/dp", "campaign: 500 runs", "planned vs realized"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestCampaignStrategies exercises every chain strategy spelling,
+// including the parameterized one, plus rejection of bad names.
+func TestCampaignStrategies(t *testing.T) {
+	wf := chainWorkflow(t, t.TempDir(), 10)
+	for _, strat := range []string{"dp", "always", "never", "daly", "young", "every:3"} {
+		cfg := baseConfig(wf)
+		cfg.strategy = strat
+		cfg.runs = 50
+		var out bytes.Buffer
+		if err := run(cfg, &out); err != nil {
+			t.Errorf("strategy %s: %v", strat, err)
+		}
+	}
+	for _, bad := range []string{"bogus", "every:0", "every:x"} {
+		cfg := baseConfig(wf)
+		cfg.strategy = bad
+		if err := run(cfg, &bytes.Buffer{}); err == nil {
+			t.Errorf("strategy %q accepted", bad)
+		}
+	}
+}
+
+// TestCampaignDAG routes a non-chain workflow through the order DP
+// under both cost models.
+func TestCampaignDAG(t *testing.T) {
+	g, err := dag.Layered(3, 3, 0.5, dag.DefaultWeights(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := writeWorkflow(t, t.TempDir(), g)
+	for _, cm := range []string{"last-task", "live-set"} {
+		cfg := baseConfig(wf)
+		cfg.costmodel = cm
+		cfg.runs = 50
+		var out bytes.Buffer
+		if err := run(cfg, &out); err != nil {
+			t.Fatalf("cost model %s: %v", cm, err)
+		}
+		if !strings.Contains(out.String(), "plan: dag/"+cm) {
+			t.Errorf("cost model %s not reported:\n%s", cm, out.String())
+		}
+	}
+	cfg := baseConfig(wf)
+	cfg.costmodel = "nope"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Error("bad cost model accepted")
+	}
+}
+
+var journalLine = regexp.MustCompile(`journal: (\d+) events, hash ([0-9a-f]{16})`)
+
+// TestPersistedCrashResume is the CLI-level crash drill: kill a
+// persisted run at an injected point, re-invoke to resume, and check
+// the journal hash matches an uninterrupted run in a fresh store.
+func TestPersistedCrashResume(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+
+	// Reference: uninterrupted persisted run.
+	ref := baseConfig(wf)
+	ref.dir = filepath.Join(base, "ref")
+	var refOut bytes.Buffer
+	if err := run(ref, &refOut); err != nil {
+		t.Fatal(err)
+	}
+	refM := journalLine.FindStringSubmatch(refOut.String())
+	if refM == nil {
+		t.Fatalf("no journal line in reference output:\n%s", refOut.String())
+	}
+
+	// Crash at an injected point, then resume with the same store.
+	crashed := baseConfig(wf)
+	crashed.dir = filepath.Join(base, "crash")
+	crashed.crashEvents = 10
+	var crashOut bytes.Buffer
+	if err := run(crashed, &crashOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(crashOut.String(), "crashed as requested") {
+		t.Fatalf("crash flag did not crash:\n%s", crashOut.String())
+	}
+
+	resumed := crashed
+	resumed.crashEvents = 0
+	var resOut bytes.Buffer
+	if err := run(resumed, &resOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resOut.String(), "resumed from checkpoint") {
+		t.Fatalf("resume not reported:\n%s", resOut.String())
+	}
+	resM := journalLine.FindStringSubmatch(resOut.String())
+	if resM == nil {
+		t.Fatalf("no journal line in resumed output:\n%s", resOut.String())
+	}
+	if resM[1] != refM[1] || resM[2] != refM[2] {
+		t.Errorf("resumed journal %s/%s differs from reference %s/%s",
+			resM[1], resM[2], refM[1], refM[2])
+	}
+}
+
+// TestPersistedWithFaults drives the persisted path through the fault
+// injector with retries; the run must still complete with the same
+// journal hash as the clean store.
+func TestPersistedWithFaults(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+
+	clean := baseConfig(wf)
+	clean.dir = filepath.Join(base, "clean")
+	var cleanOut bytes.Buffer
+	if err := run(clean, &cleanOut); err != nil {
+		t.Fatal(err)
+	}
+	cleanM := journalLine.FindStringSubmatch(cleanOut.String())
+
+	faulty := baseConfig(wf)
+	faulty.dir = filepath.Join(base, "faulty")
+	faulty.faults = true
+	faulty.retries = 6
+	var faultOut bytes.Buffer
+	if err := run(faulty, &faultOut); err != nil {
+		t.Fatal(err)
+	}
+	faultM := journalLine.FindStringSubmatch(faultOut.String())
+	if faultM == nil {
+		t.Fatalf("no journal line under faults:\n%s", faultOut.String())
+	}
+	if cleanM == nil || faultM[1] != cleanM[1] || faultM[2] != cleanM[2] {
+		t.Errorf("faulty-store journal %v differs from clean %v", faultM[1:], cleanM[1:])
+	}
+}
+
+func TestMissingWorkflow(t *testing.T) {
+	cfg := baseConfig(filepath.Join(t.TempDir(), "nope.json"))
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Error("missing workflow file accepted")
+	}
+}

@@ -36,8 +36,8 @@ func TestIntegrationEngineSuite(t *testing.T) {
 	if err := engine.FirstError(results); err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 16 {
-		t.Fatalf("engine ran %d experiments, want 16", len(results))
+	if len(results) != len(expt.All()) {
+		t.Fatalf("engine ran %d experiments, want %d", len(results), len(expt.All()))
 	}
 	var text, csv, jsonBuf bytes.Buffer
 	suites := make([]render.Suite, 0, len(results))
@@ -73,7 +73,7 @@ func TestIntegrationEngineSuite(t *testing.T) {
 	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
 		t.Fatalf("JSON output does not round-trip: %v", err)
 	}
-	if len(decoded) != 16 || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
+	if len(decoded) != len(expt.All()) || decoded[0].ID != "E1" || len(decoded[0].Tables) == 0 {
 		t.Fatalf("unexpected JSON shape: %d suites", len(decoded))
 	}
 	if len(decoded[0].Tables[0].Rows) == 0 {

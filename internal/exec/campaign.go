@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+// CampaignOptions tunes a Monte-Carlo campaign of executions.
+type CampaignOptions struct {
+	// Runs is the number of independent executions.
+	Runs int
+	// Seed drives every run: run r uses NewKeyedSource(dist, Seed, r+1),
+	// so the campaign is deterministic for a given Seed regardless of
+	// scheduling — each run's failure sequence depends only on (Seed, r).
+	Seed uint64
+	// Workers fans runs out over goroutines; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Per-run results are Workers-independent;
+	// the merged summaries are deterministic for a given (Seed, Workers)
+	// pair (summary merging is not floating-point associative).
+	Workers int
+	// Downtime and MaxFailures are per-run execution options.
+	Downtime    float64
+	MaxFailures int
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Makespan and Failures summarize per-run realized makespans and
+	// failure counts.
+	Makespan, Failures stats.Summary
+	// Runs is the number of executions aggregated.
+	Runs int
+}
+
+// Campaign executes the workload Runs times against independent keyed
+// failure sources drawn from dist, without persistence (checkpoints
+// exist to bound rollback, not to survive a crash), and aggregates the
+// realized metrics. The mean of Makespan converges to
+// w.Planned(model) when dist matches the model's failure law — the
+// planned-vs-realized validation experiment E18 rides on exactly this.
+func Campaign(w *Workload, dist failure.Distribution, opts CampaignOptions) (CampaignResult, error) {
+	if opts.Runs <= 0 {
+		return CampaignResult{}, fmt.Errorf("exec: campaign needs a positive run count, got %d", opts.Runs)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+	type partial struct {
+		makespan, failures stats.Summary
+		err                error
+	}
+	parts := make([]partial, workers)
+	per := opts.Runs / workers
+	extra := opts.Runs % workers
+	var wg sync.WaitGroup
+	next := 0
+	for wk := 0; wk < workers; wk++ {
+		count := per
+		if wk < extra {
+			count++
+		}
+		first := next
+		next += count
+		wg.Add(1)
+		go func(wk, first, count int) {
+			defer wg.Done()
+			p := &parts[wk]
+			for r := first; r < first+count; r++ {
+				src := NewKeyedSource(dist, opts.Seed, uint64(r)+1)
+				res, err := Execute(w, src, Options{
+					Downtime:    opts.Downtime,
+					MaxFailures: opts.MaxFailures,
+				})
+				if err != nil {
+					p.err = fmt.Errorf("exec: campaign run %d: %w", r, err)
+					return
+				}
+				p.makespan.Add(res.Makespan)
+				p.failures.Add(float64(res.Failures))
+			}
+		}(wk, first, count)
+	}
+	wg.Wait()
+	out := CampaignResult{Runs: opts.Runs}
+	for i := range parts {
+		if parts[i].err != nil {
+			return CampaignResult{}, parts[i].err
+		}
+		// Merge in worker order: deterministic for a (Seed, Workers) pair.
+		out.Makespan.Merge(parts[i].makespan)
+		out.Failures.Merge(parts[i].failures)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/store"
+)
+
+// crashScenario names one (workload, source) pair for the harness.
+type crashScenario struct {
+	name string
+	w    *Workload
+	src  func() Source
+}
+
+// crashScenarios builds the acceptance matrix: a chain plan and a DAG
+// plan under both cost models, each against a keyed exponential source.
+func crashScenarios(t *testing.T) []crashScenario {
+	t.Helper()
+	g, plan := diamondDAG(t)
+	var out []crashScenario
+	out = append(out, crashScenario{
+		name: "chain",
+		w:    chainWorkload(t),
+		src:  func() Source { return NewKeyedSource(failure.Exponential{Lambda: 0.08}, 101, 1) },
+	})
+	for _, cm := range []core.CostModel{core.LastTaskCosts{R0: 0.5}, core.LiveSetCosts{R0: 0.5}} {
+		w, err := NewDAGWorkload(g, plan, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, crashScenario{
+			name: "dag/" + cm.Name(),
+			w:    w,
+			src:  func() Source { return NewKeyedSource(failure.Exponential{Lambda: 0.05}, 101, 2) },
+		})
+	}
+	return out
+}
+
+// runToCompletion drives the executor through a sequence of injected
+// kill points: each invocation crashes at its kill point (or dies on an
+// exhausted-retries store error, which the harness treats the same
+// way), and the next invocation resumes from whatever the store holds.
+// After the kill list is exhausted, a final clean invocation completes
+// the run. It returns the final result and the number of invocations
+// that actually crashed.
+func runToCompletion(t *testing.T, sc crashScenario, st store.Store, kills []int, retries int) (*Result, int) {
+	t.Helper()
+	crashes := 0
+	for _, kill := range kills {
+		_, err := Execute(sc.w, sc.src(), Options{
+			RunID: "acceptance", Store: st, Downtime: 1,
+			SaveRetries: retries, CrashAfterEvents: kill,
+		})
+		switch {
+		case err == nil:
+			// The kill point landed past the end of the run; nothing to
+			// resume, later kill points would also miss.
+			return nil, crashes
+		case errors.Is(err, ErrCrashed) || errors.Is(err, store.ErrInjected):
+			crashes++
+		default:
+			t.Fatalf("kill@%d: unexpected error: %v", kill, err)
+		}
+	}
+	res, err := Execute(sc.w, sc.src(), Options{
+		RunID: "acceptance", Store: st, Downtime: 1, SaveRetries: retries,
+	})
+	if err != nil {
+		t.Fatalf("final resume: %v", err)
+	}
+	return res, crashes
+}
+
+// TestCrashResumeBitIdenticalJournals is the acceptance property of the
+// whole runtime: for chain and DAG plans under both cost models, an
+// execution killed at several distinct injected points and resumed each
+// time from the durable file store finishes with a journal
+// byte-identical to the uninterrupted run's, and identical metrics.
+func TestCrashResumeBitIdenticalJournals(t *testing.T) {
+	for _, sc := range crashScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			ref, err := Execute(sc.w, sc.src(), Options{Downtime: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(ref.Journal)
+			if n < 10 {
+				t.Fatalf("reference journal too short (%d events) to place 3 kill points", n)
+			}
+			// Three strictly increasing kill points inside the run, plus
+			// one killing between the final checkpoint event and
+			// completion.
+			kills := []int{n / 5, 2 * n / 5, 7 * n / 10, n - 1}
+			fs, err := store.NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, crashes := runToCompletion(t, sc, store.Checked(fs), kills, 0)
+			if res == nil {
+				t.Fatal("kill points missed the run entirely")
+			}
+			if crashes < 3 {
+				t.Fatalf("only %d crashes injected, want ≥ 3", crashes)
+			}
+			if !res.Resumed {
+				t.Fatal("final invocation did not resume from the store")
+			}
+			if !res.Journal.Equal(ref.Journal) {
+				t.Fatalf("resumed journal differs from uninterrupted run:\nresumed %d events, reference %d",
+					len(res.Journal), len(ref.Journal))
+			}
+			if res.Metrics != ref.Metrics {
+				t.Fatalf("resumed metrics differ: %+v vs %+v", res.Metrics, ref.Metrics)
+			}
+		})
+	}
+}
+
+// TestCrashResumeUnderFaultInjection repeats the acceptance property
+// with a hostile store: injected clean write failures, torn writes
+// (detected by the codec on resume), silent loss of old checkpoints and
+// transient read failures. Retries absorb what they can; resume falls
+// back past what they cannot; the final journal must still be
+// byte-identical to the undisturbed reference.
+func TestCrashResumeUnderFaultInjection(t *testing.T) {
+	for _, sc := range crashScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			ref, err := Execute(sc.w, sc.src(), Options{Downtime: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(ref.Journal)
+			for _, plan := range []store.FaultPlan{
+				{Seed: 1, WriteFail: 0.3},
+				{Seed: 2, TornWrite: 0.4},
+				{Seed: 3, LoseOld: 0.8},
+				{Seed: 4, ReadFail: 0.3},
+				{Seed: 5, WriteFail: 0.15, TornWrite: 0.15, LoseOld: 0.4, ReadFail: 0.15, MeanLatency: 2},
+			} {
+				fs, err := store.NewFileStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				faulty := store.NewFaultStore(fs, plan)
+				kills := []int{n / 6, n / 3, n / 2, 4 * n / 5}
+				res, crashes := runToCompletion(t, sc, store.Checked(faulty), kills, 4)
+				if res == nil {
+					t.Fatalf("plan %+v: kill points missed the run", plan)
+				}
+				if crashes < 3 {
+					t.Fatalf("plan %+v: only %d crashes", plan, crashes)
+				}
+				if !res.Journal.Equal(ref.Journal) {
+					t.Fatalf("plan %+v: resumed journal differs from reference", plan)
+				}
+				if res.Metrics != ref.Metrics {
+					t.Fatalf("plan %+v: metrics differ: %+v vs %+v", plan, res.Metrics, ref.Metrics)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashAfterSavesKillPoint covers the save-count kill point: the
+// crash lands immediately after a successful save, the resume picks up
+// exactly there.
+func TestCrashAfterSavesKillPoint(t *testing.T) {
+	w := chainWorkload(t)
+	src := func() Source { return NewKeyedSource(failure.Exponential{Lambda: 0.08}, 55, 1) }
+	ref, err := Execute(w, src(), Options{Downtime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.Checked(store.NewMemStore())
+	// Crash after every single save: each invocation advances exactly one
+	// segment past its resume point.
+	for i := 0; i < w.Segments()-1; i++ {
+		_, err := Execute(w, src(), Options{Store: st, Downtime: 1, CrashAfterSaves: 1})
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash %d: %v, want ErrCrashed", i, err)
+		}
+	}
+	res, err := Execute(w, src(), Options{Store: st, Downtime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed || res.ResumeSeq != uint64(w.Segments()-1) {
+		t.Fatalf("resumed=%v seq=%d, want resume from seq %d", res.Resumed, res.ResumeSeq, w.Segments()-1)
+	}
+	if !res.Journal.Equal(ref.Journal) {
+		t.Fatal("journal differs after save-count crashes")
+	}
+	// The planned expectation is still what the realized run decomposes
+	// against; a resumed run reports the same makespan as the reference.
+	if res.Makespan != ref.Makespan {
+		t.Fatalf("makespan %v != reference %v", res.Makespan, ref.Makespan)
+	}
+}

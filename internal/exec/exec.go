@@ -1,0 +1,448 @@
+// Package exec is the crash-safe execution runtime: it runs checkpoint
+// plans — chains and linearized DAGs alike, compiled to a Workload —
+// against a live failure Source under a virtual clock, losing
+// uncheckpointed progress on every failure exactly as the paper's model
+// prescribes, persisting committed checkpoints through a pluggable
+// store.Store, and recording a structured Journal of every attempt,
+// failure, restore and checkpoint.
+//
+// The package's load-bearing property is replay determinism: because
+// failure gaps are position-indexed (Source.State is just "which gap,
+// how far into it") and the checkpoint payload round-trips every
+// accumulator bit-exactly, a run that is killed at any point and
+// resumed from the store produces a final journal byte-identical to the
+// journal of an uninterrupted run. That is what makes the planned
+// expectations of internal/core directly comparable to realized
+// executions, crashes and all — and it is pinned by the crash-harness
+// tests, which kill the executor at injected fault points (including
+// torn writes and lost checkpoints from store.FaultStore) and diff the
+// journals.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/store"
+)
+
+// ErrCrashed is returned when an injected crash point (CrashAfterEvents
+// or CrashAfterSaves) aborts the execution. State already persisted to
+// the store is intact; re-invoking Execute resumes from it.
+var ErrCrashed = errors.New("exec: injected crash")
+
+// ErrTooManyFailures is returned when one execution exceeds its failure
+// budget — the guard against configurations that cannot make progress.
+var ErrTooManyFailures = errors.New("exec: failure budget exhausted; execution cannot make progress")
+
+// ErrFingerprint is returned when a persisted checkpoint belongs to a
+// different (workload, source) pair than the one being executed.
+var ErrFingerprint = errors.New("exec: checkpoint fingerprint mismatch (different workload or failure source)")
+
+// Metrics decomposes an execution, with the same fields and semantics
+// as sim.RunStats so realized executions and simulated runs compare
+// field-for-field.
+type Metrics struct {
+	// Makespan is the virtual wall-clock time of the whole execution.
+	Makespan float64
+	// Failures counts failure strikes (during work, checkpointing or
+	// recovery).
+	Failures int
+	// Lost is wasted work and checkpoint time (rolled back on failure).
+	Lost float64
+	// Downtime is total downtime served.
+	Downtime float64
+	// RecoveryTime is total time in recoveries, failed attempts included.
+	RecoveryTime float64
+	// Useful is work plus checkpoint time that stuck.
+	Useful float64
+}
+
+// Result is the outcome of one Execute call.
+type Result struct {
+	Metrics
+	// Journal is the full structured record, including any prefix
+	// restored from a checkpoint.
+	Journal Journal
+	// Checkpoints counts committed checkpoints in the journal.
+	Checkpoints int
+	// Saves counts store saves performed by this invocation.
+	Saves int
+	// Resumed reports whether state was restored from the store,
+	// ResumeSeq which checkpoint sequence it was restored from, and
+	// RestoredEvents how many journal events that checkpoint carried.
+	Resumed        bool
+	ResumeSeq      uint64
+	RestoredEvents int
+}
+
+// Options tunes an execution.
+type Options struct {
+	// RunID names the run in the store ("run" when empty).
+	RunID string
+	// Store persists checkpoints; nil disables persistence (the
+	// execution model is unchanged — checkpoint costs are still paid).
+	Store store.Store
+	// Downtime is D, the failure-free delay after every failure.
+	Downtime float64
+	// MaxFailures bounds failures tolerated per invocation (0 means the
+	// default of 10 million).
+	MaxFailures int
+	// SaveRetries is how many times a failed store Save or Load is
+	// retried before giving up (0 means none). Retries matter under
+	// store.FaultStore: transient injected faults succeed on retry,
+	// exhausted retries surface the error.
+	SaveRetries int
+	// CrashAfterEvents, when positive, aborts with ErrCrashed as soon as
+	// the journal holds that many events — a deterministic kill point
+	// anywhere in the execution, including between a checkpoint event
+	// and its save.
+	CrashAfterEvents int
+	// CrashAfterSaves, when positive, aborts with ErrCrashed right after
+	// this invocation's n-th successful store save.
+	CrashAfterSaves int
+}
+
+func (o Options) runID() string {
+	if o.RunID == "" {
+		return "run"
+	}
+	return o.RunID
+}
+
+func (o Options) maxFailures() int {
+	if o.MaxFailures <= 0 {
+		return 10_000_000
+	}
+	return o.MaxFailures
+}
+
+// executor is the state of one Execute invocation.
+type executor struct {
+	w    *Workload
+	src  Source
+	opts Options
+	fp   uint64 // workload fingerprint mixed with source fingerprint
+
+	t       float64 // virtual clock
+	met     Metrics
+	j       Journal
+	attempt float64 // elapsed time of the in-flight attempt
+	curSeg  int
+	saves   int
+	budget  int
+}
+
+// Execute runs the workload against src. With a store configured it
+// first tries to resume from the latest loadable checkpoint (falling
+// back to older ones past corrupt, lost or unreadable entries), then
+// executes the remaining segments, persisting a checkpoint after each.
+// On ErrCrashed (injected kill) or a store failure, the returned Result
+// carries the partial journal; re-invoking Execute with the same
+// arguments resumes and completes the run.
+func Execute(w *Workload, src Source, opts Options) (*Result, error) {
+	if opts.Downtime < 0 {
+		return nil, fmt.Errorf("exec: negative downtime %v", opts.Downtime)
+	}
+	if w.Segments() == 0 {
+		return nil, errors.New("exec: workload has no segments")
+	}
+	ex := &executor{
+		w:      w,
+		src:    src,
+		opts:   opts,
+		fp:     w.Fingerprint() ^ (src.Fingerprint() * 0x9e3779b97f4a7c15),
+		budget: opts.maxFailures(),
+	}
+	res := &Result{}
+	startSeg := 0
+	if st, err := ex.loadResume(); err != nil {
+		return res, err
+	} else if st != nil {
+		ex.t = st.t
+		ex.met = st.met
+		ex.j = st.journal
+		ex.src.Restore(st.src)
+		startSeg = int(st.nextSeg)
+		res.Resumed = true
+		res.ResumeSeq = st.seq
+		res.RestoredEvents = len(st.journal)
+	}
+	err := func() error {
+		for s := startSeg; s < w.Segments(); s++ {
+			if err := ex.runSegment(s); err != nil {
+				return err
+			}
+			if err := ex.commit(s); err != nil {
+				return err
+			}
+		}
+		return ex.event(Event{Kind: EvComplete, Time: ex.t})
+	}()
+	ex.met.Makespan = ex.t
+	res.Metrics = ex.met
+	res.Journal = ex.j
+	res.Checkpoints = ex.j.Count(EvCheckpoint)
+	res.Saves = ex.saves
+	return res, err
+}
+
+// event appends to the journal and fires the event-count crash point.
+func (ex *executor) event(e Event) error {
+	ex.j = append(ex.j, e)
+	if n := ex.opts.CrashAfterEvents; n > 0 && len(ex.j) >= n {
+		return fmt.Errorf("exec: crash after %d journal events (t=%v): %w", len(ex.j), ex.t, ErrCrashed)
+	}
+	return nil
+}
+
+// piece advances the execution through d units of atomic progress
+// (one task's work, or a segment's checkpoint phase). It returns done =
+// true if the piece completed, done = false if a failure struck — in
+// which case the failure, downtime and recovery (with possible repeated
+// failures) have all been served and the attempt must restart.
+func (ex *executor) piece(d float64) (done bool, err error) {
+	if next := ex.src.NextFailure(); next >= d {
+		ex.src.Advance(d)
+		ex.t += d
+		ex.attempt += d
+		return true, nil
+	} else {
+		// Failure mid-piece: everything since the attempt started is lost.
+		ex.src.ObserveFailure()
+		ex.t += next
+		ex.met.Lost += ex.attempt + next
+		ex.attempt = 0
+		if err := ex.strike(); err != nil {
+			return false, err
+		}
+	}
+	// Downtime is failure-free by assumption; process clocks frozen.
+	ex.t += ex.opts.Downtime
+	ex.met.Downtime += ex.opts.Downtime
+	// Recovery: failures possible; repeat until one completes.
+	rec := ex.w.segRec[ex.curSeg]
+	for {
+		if next := ex.src.NextFailure(); next >= rec {
+			ex.src.Advance(rec)
+			ex.t += rec
+			ex.met.RecoveryTime += rec
+			break
+		} else {
+			ex.src.ObserveFailure()
+			ex.t += next
+			ex.met.RecoveryTime += next
+			if err := ex.strike(); err != nil {
+				return false, err
+			}
+			ex.t += ex.opts.Downtime
+			ex.met.Downtime += ex.opts.Downtime
+		}
+	}
+	return false, ex.event(Event{Kind: EvRestored, Time: ex.t})
+}
+
+// strike accounts one failure: budget check plus journal event.
+func (ex *executor) strike() error {
+	ex.met.Failures++
+	if ex.met.Failures > ex.budget {
+		return ErrTooManyFailures
+	}
+	return ex.event(Event{Kind: EvFailure, Time: ex.t})
+}
+
+// runSegment executes segment s to a committed checkpoint event,
+// restarting the attempt from the segment start after every failure.
+func (ex *executor) runSegment(s int) error {
+	ex.curSeg = s
+	start, end := ex.w.segStart[s], ex.w.segEnd[s]
+	for {
+		ex.attempt = 0
+		if err := ex.event(Event{Kind: EvSegmentStart, Time: ex.t, Arg: int32(start)}); err != nil {
+			return err
+		}
+		failed := false
+		for pos := start; pos <= end; pos++ {
+			done, err := ex.piece(ex.w.Weights[pos])
+			if err != nil {
+				return err
+			}
+			if !done {
+				failed = true
+				break
+			}
+			if err := ex.event(Event{Kind: EvTaskDone, Time: ex.t, Arg: int32(ex.w.Order[pos])}); err != nil {
+				return err
+			}
+		}
+		if failed {
+			continue
+		}
+		done, err := ex.piece(ex.w.segCkpt[s])
+		if err != nil {
+			return err
+		}
+		if done {
+			ex.met.Useful += ex.attempt
+			ex.attempt = 0
+			return ex.event(Event{Kind: EvCheckpoint, Time: ex.t, Seq: uint64(s) + 1})
+		}
+	}
+}
+
+// commit persists the post-segment state. The EvCheckpoint event was
+// already appended by runSegment, BEFORE the state is encoded here, so
+// the event is always inside the persisted journal prefix: a resume
+// from seq k replays from a journal that already records checkpoint k.
+func (ex *executor) commit(s int) error {
+	if ex.opts.Store == nil {
+		return nil
+	}
+	seq := uint64(s) + 1
+	payload := encodeState(&execState{
+		fp:      ex.fp,
+		seq:     seq,
+		nextSeg: uint64(s) + 1,
+		t:       ex.t,
+		met:     ex.met,
+		src:     ex.src.State(),
+		journal: ex.j,
+	})
+	var err error
+	for try := 0; try <= ex.opts.SaveRetries; try++ {
+		if err = ex.opts.Store.Save(ex.opts.runID(), seq, payload); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("exec: saving checkpoint %d: %w", seq, err)
+	}
+	ex.saves++
+	if n := ex.opts.CrashAfterSaves; n > 0 && ex.saves >= n {
+		return fmt.Errorf("exec: crash after %d checkpoint saves (t=%v): %w", ex.saves, ex.t, ErrCrashed)
+	}
+	return nil
+}
+
+// loadResume finds the newest loadable, decodable checkpoint of this
+// run, skipping past corrupt frames, injected read failures (after
+// retries) and lost entries to older checkpoints. It returns nil with
+// no error when the run has no usable checkpoint (fresh start). A
+// fingerprint mismatch is a loud error: the store holds a different
+// workload's state and silently restarting would mask it.
+func (ex *executor) loadResume() (*execState, error) {
+	if ex.opts.Store == nil {
+		return nil, nil
+	}
+	seqs, err := ex.opts.Store.List(ex.opts.runID())
+	if err != nil {
+		return nil, fmt.Errorf("exec: listing checkpoints: %w", err)
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		var data []byte
+		for try := 0; try <= ex.opts.SaveRetries; try++ {
+			if data, err = ex.opts.Store.Load(ex.opts.runID(), seqs[i]); err == nil {
+				break
+			}
+		}
+		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrInjected) {
+			continue // fall back to an older checkpoint
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exec: loading checkpoint %d: %w", seqs[i], err)
+		}
+		st, err := decodeState(data)
+		if err != nil {
+			return nil, err
+		}
+		if st.fp != ex.fp {
+			return nil, fmt.Errorf("%w: checkpoint %d has %016x, want %016x",
+				ErrFingerprint, seqs[i], st.fp, ex.fp)
+		}
+		return st, nil
+	}
+	return nil, nil
+}
+
+// execState is the decoded checkpoint payload: every accumulator the
+// executor owns, bit-exact, plus the source position and the journal
+// prefix. Bit-exact float round-tripping is what makes resumed
+// accumulations identical to uninterrupted ones.
+type execState struct {
+	fp      uint64
+	seq     uint64
+	nextSeg uint64
+	t       float64
+	met     Metrics
+	src     SourceState
+	journal Journal
+}
+
+// stateSchema versions the checkpoint payload (inside the store codec's
+// frame, which versions the framing itself).
+const stateSchema = 1
+
+// stateHeaderSize is the fixed part of the payload before the journal.
+const stateHeaderSize = 4 + 8*12
+
+// encodeState serializes the checkpoint payload.
+func encodeState(st *execState) []byte {
+	out := make([]byte, stateHeaderSize, stateHeaderSize+8+len(st.journal)*eventSize)
+	putU32(out, stateSchema)
+	fields := [...]uint64{
+		st.fp,
+		st.seq,
+		st.nextSeg,
+		math.Float64bits(st.t),
+		uint64(st.met.Failures),
+		math.Float64bits(st.met.Lost),
+		math.Float64bits(st.met.Downtime),
+		math.Float64bits(st.met.RecoveryTime),
+		math.Float64bits(st.met.Useful),
+		st.src.Draws,
+		math.Float64bits(st.src.Consumed),
+		uint64(0), // reserved
+	}
+	for i, v := range fields {
+		putU64(out[4+8*i:], v)
+	}
+	return append(out, st.journal.Marshal()...)
+}
+
+// errState reports a malformed checkpoint payload — a schema mismatch
+// or truncation that survived the store codec's CRC, i.e. a version
+// skew rather than bit rot. It is loud, not skipped: resuming past it
+// would silently discard real state.
+var errState = errors.New("exec: malformed checkpoint payload")
+
+// decodeState parses a checkpoint payload.
+func decodeState(data []byte) (*execState, error) {
+	if len(data) < stateHeaderSize {
+		return nil, errState
+	}
+	if getU32(data) != stateSchema {
+		return nil, fmt.Errorf("%w: schema %d, want %d", errState, getU32(data), stateSchema)
+	}
+	f := func(i int) uint64 { return getU64(data[4+8*i:]) }
+	st := &execState{
+		fp:      f(0),
+		seq:     f(1),
+		nextSeg: f(2),
+		t:       math.Float64frombits(f(3)),
+		met: Metrics{
+			Failures:     int(f(4)),
+			Lost:         math.Float64frombits(f(5)),
+			Downtime:     math.Float64frombits(f(6)),
+			RecoveryTime: math.Float64frombits(f(7)),
+			Useful:       math.Float64frombits(f(8)),
+		},
+		src: SourceState{Draws: f(9), Consumed: math.Float64frombits(f(10))},
+	}
+	j, err := UnmarshalJournal(data[stateHeaderSize:])
+	if err != nil {
+		return nil, err
+	}
+	st.journal = j
+	return st, nil
+}

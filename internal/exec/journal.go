@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// EventKind classifies journal events.
+type EventKind uint8
+
+// Journal event kinds. The numeric values are part of the checkpoint
+// wire format — append new kinds, never renumber.
+const (
+	// EvSegmentStart opens an attempt at a segment; Arg is the segment's
+	// first position in the order. Emitted once per attempt, so a segment
+	// hit by k failures contributes k+1 of these.
+	EvSegmentStart EventKind = iota + 1
+	// EvTaskDone records completion of one task; Arg is the task ID.
+	EvTaskDone
+	// EvFailure records a failure strike; Time is the failure instant.
+	EvFailure
+	// EvRestored records the completion of downtime + recovery after a
+	// failure; execution state is back at the last checkpoint.
+	EvRestored
+	// EvCheckpoint records a committed checkpoint; Seq is its sequence
+	// number. The event is appended before the state is encoded, so it is
+	// always part of the persisted journal prefix.
+	EvCheckpoint
+	// EvComplete closes the journal; Time is the final makespan.
+	EvComplete
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSegmentStart:
+		return "segment-start"
+	case EvTaskDone:
+		return "task-done"
+	case EvFailure:
+		return "failure"
+	case EvRestored:
+		return "restored"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvComplete:
+		return "complete"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one journal entry. Time is the virtual clock at the event;
+// Arg and Seq are kind-specific (see the kind constants). The zero
+// fields of unused slots are written as zeros so the encoding is a pure
+// function of the event.
+type Event struct {
+	Kind EventKind
+	Time float64
+	Arg  int32
+	Seq  uint64
+}
+
+// Journal is the structured record of one execution: every attempt,
+// task completion, failure, restore and checkpoint, in order. Its
+// Marshal encoding is canonical — byte-for-byte equality of marshaled
+// journals is the replay-determinism acceptance criterion ("a resumed
+// run is indistinguishable from an uninterrupted one").
+type Journal []Event
+
+// eventSize is the fixed wire size of one event:
+// kind u8 | time f64 | arg i32 | seq u64.
+const eventSize = 1 + 8 + 4 + 8
+
+// Marshal encodes the journal canonically: u64 count, then fixed-width
+// little-endian events.
+func (j Journal) Marshal() []byte {
+	out := make([]byte, 8+len(j)*eventSize)
+	putU64(out, uint64(len(j)))
+	off := 8
+	for _, e := range j {
+		out[off] = byte(e.Kind)
+		putU64(out[off+1:], math.Float64bits(e.Time))
+		putU32(out[off+9:], uint32(e.Arg))
+		putU64(out[off+13:], e.Seq)
+		off += eventSize
+	}
+	return out
+}
+
+// errJournal reports a malformed journal encoding.
+var errJournal = errors.New("exec: malformed journal encoding")
+
+// UnmarshalJournal decodes a canonical journal encoding.
+func UnmarshalJournal(data []byte) (Journal, error) {
+	if len(data) < 8 {
+		return nil, errJournal
+	}
+	n := getU64(data)
+	if n > uint64((len(data)-8)/eventSize) || len(data) != 8+int(n)*eventSize {
+		return nil, errJournal
+	}
+	j := make(Journal, n)
+	off := 8
+	for i := range j {
+		j[i] = Event{
+			Kind: EventKind(data[off]),
+			Time: math.Float64frombits(getU64(data[off+1:])),
+			Arg:  int32(getU32(data[off+9:])),
+			Seq:  getU64(data[off+13:]),
+		}
+		off += eventSize
+	}
+	return j, nil
+}
+
+// Equal reports byte-for-byte equality of the canonical encodings.
+func (j Journal) Equal(other Journal) bool {
+	return bytes.Equal(j.Marshal(), other.Marshal())
+}
+
+// Hash returns a 64-bit digest of the canonical encoding, for compact
+// journal-identity assertions in experiment output.
+func (j Journal) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(j.Marshal())
+	return h.Sum64()
+}
+
+// Count returns the number of events of the given kind.
+func (j Journal) Count(kind EventKind) int {
+	n := 0
+	for _, e := range j {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// putU32 writes v little-endian into b[:4].
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// getU32 reads a little-endian u32 from b[:4].
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// getU64 reads a little-endian u64 from b[:8].
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,87 @@
+package failure_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestReplayTraceExhaustionMidSegment pins what happens when a spilled
+// recording runs out in the middle of a segment attempt: the replay
+// announces an infinite gap, the simulator finishes the rest of the run
+// failure-free, and Exhausted() reports the truncation — the signal the
+// campaign layer (and the executor's trace-replay mode) relies on to
+// distinguish "genuinely no more failures" from "recording too short".
+func TestReplayTraceExhaustionMidSegment(t *testing.T) {
+	segs := []core.Segment{{Work: 10, Checkpoint: 1, Recovery: 0.5}}
+	// Two recorded gaps, both striking inside the 11-unit attempt.
+	replay := failure.ReplayTrace([]float64{3, 4}, 0.1)
+	rs, err := sim.Run(segs, replay.Cursor(), sim.Options{Downtime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Failures != 2 {
+		t.Fatalf("failures = %d, want the 2 recorded strikes", rs.Failures)
+	}
+	if !replay.Exhausted() {
+		t.Fatal("mid-segment truncation not flagged exhausted")
+	}
+	if math.IsInf(rs.Makespan, 0) || rs.Makespan <= 11 {
+		t.Fatalf("makespan %v not a finite completed run", rs.Makespan)
+	}
+}
+
+// TestReplayTraceExhaustionMidRecovery drives the truncation into the
+// recovery loop: the last recorded gap is shorter than the recovery
+// itself, so the recording dies while re-loading the checkpoint.
+func TestReplayTraceExhaustionMidRecovery(t *testing.T) {
+	segs := []core.Segment{{Work: 10, Checkpoint: 1, Recovery: 2}}
+	// Gap 0.5 < recovery 2: the second strike lands mid-recovery, then
+	// the recording is out.
+	replay := failure.ReplayTrace([]float64{3, 0.5}, 0.1)
+	rs, err := sim.Run(segs, replay.Cursor(), sim.Options{Downtime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", rs.Failures)
+	}
+	if rs.RecoveryTime <= 2 {
+		t.Fatalf("recovery time %v does not include the failed attempt", rs.RecoveryTime)
+	}
+	if !replay.Exhausted() {
+		t.Fatal("mid-recovery truncation not flagged exhausted")
+	}
+}
+
+// TestReplayTraceSufficientRecordingNeverExhausts is the control: when
+// the recording covers the whole run, replaying it must not trip the
+// exhaustion flag, and the replayed run must match a live run over the
+// same process bit-for-bit.
+func TestReplayTraceSufficientRecordingNeverExhausts(t *testing.T) {
+	segs := []core.Segment{
+		{Work: 6, Checkpoint: 0.5, Recovery: 0.4},
+		{Work: 8, Checkpoint: 0.5, Recovery: 0.6},
+	}
+	live := failure.NewRecordedTrace(failure.NewExponentialProcess(0.2, rng.New(31)))
+	liveStats, err := sim.Run(segs, live.Cursor(), sim.Options{Downtime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := append([]float64(nil), live.Gaps()...)
+	replay := failure.ReplayTrace(gaps, 0.2)
+	replayStats, err := sim.Run(segs, replay.Cursor(), sim.Options{Downtime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Exhausted() {
+		t.Fatal("replay of a complete recording reported exhaustion")
+	}
+	if liveStats != replayStats {
+		t.Fatalf("replayed run differs from live run:\n%+v\n%+v", liveStats, replayStats)
+	}
+}

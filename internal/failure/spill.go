@@ -29,6 +29,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+
+	"repro/internal/fsx"
 )
 
 const (
@@ -50,8 +53,11 @@ type SpilledBlock struct {
 }
 
 // TraceSpillWriter appends block records to a spill file. Each
-// WriteBlock flushes through to the file, so a kill loses at most the
-// block being written — never a completed one.
+// WriteBlock flushes and fsyncs through to the file, so neither a kill
+// nor a host crash loses more than the block being written — never a
+// completed one. (Flush alone only survives a killed process; the page
+// cache still dies with the host, which is exactly the failure the
+// resume path exists for.)
 type TraceSpillWriter struct {
 	f *os.File
 	w *bufio.Writer
@@ -81,6 +87,17 @@ func CreateTraceSpill(path, meta string, rate float64) (*TraceSpillWriter, error
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Make the header durable (and, via the directory fsync, the file's
+	// very existence): a resume that finds no spill re-simulates from
+	// scratch, but a resume that finds a header-less file fails loudly.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -134,12 +151,19 @@ func (s *TraceSpillWriter) WriteBlock(index int, reps [][]float64) error {
 	if _, err := s.w.Write(crc[:]); err != nil {
 		return err
 	}
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
 }
 
-// Close flushes and closes the underlying file.
+// Close flushes, fsyncs and closes the underlying file.
 func (s *TraceSpillWriter) Close() error {
 	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return err
 	}

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/fsx"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -483,25 +484,12 @@ func shardWithSpill(plans [][]core.Segment, factory ProcessFactory, so ShardOpti
 	return out, nil
 }
 
-// atomicWriteFile writes data to path via a temp file and rename, so a
-// kill mid-write never leaves a half-written result to be mistaken for
-// a finished shard.
+// atomicWriteFile writes data to path via fsx.AtomicWriteFile: temp file,
+// fsync, rename, directory fsync. A kill mid-write never leaves a
+// half-written result to be mistaken for a finished shard, and a host
+// crash after it returns cannot roll the file back to empty.
 func atomicWriteFile(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsx.AtomicWriteFile(path, data)
 }
 
 // MergeShards folds shard results into the campaign aggregate. Every

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// ErrInjected is wrapped by every fault the FaultStore injects, so
+// callers can classify "the drill hit me" (retryable) apart from real
+// I/O errors. ErrInjectedWrite and ErrInjectedRead refine it per
+// operation.
+var (
+	ErrInjected      = errors.New("store: injected fault")
+	ErrInjectedWrite = fmt.Errorf("%w: write failed", ErrInjected)
+	ErrInjectedRead  = fmt.Errorf("%w: read failed", ErrInjected)
+)
+
+// FaultPlan parameterizes the deterministic fault injector. All
+// probabilities are per-operation in [0, 1]; a zero plan injects
+// nothing. The same (plan, operation sequence) always injects the same
+// faults: each operation draws from a stream keyed by its index alone,
+// so determinism survives any amount of surrounding concurrency or
+// retry logic.
+type FaultPlan struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// WriteFail is the probability a Save fails cleanly: the error is
+	// reported and nothing is persisted. Models a full disk or a lost
+	// connection caught before commit.
+	WriteFail float64
+	// TornWrite is the probability a Save persists only a prefix of the
+	// payload AND reports failure. Models a crash mid-write on a store
+	// without atomic rename: a corrupt artifact now occupies the slot.
+	// Detection is the codec layer's job — compose Checked(FaultStore).
+	TornWrite float64
+	// LoseOld is the probability that a successful Save is followed by
+	// the silent loss of one previously persisted checkpoint of the same
+	// run (partial-state loss: retention bugs, eviction, bit rot taking
+	// out an old file). The executor must then fall back further on
+	// resume.
+	LoseOld float64
+	// ReadFail is the probability a Load fails transiently.
+	ReadFail float64
+	// MeanLatency, when positive, adds an Exp-distributed virtual
+	// latency to every operation, accumulated in Stats.Latency. Nothing
+	// sleeps: the executor folds the total into its virtual clock
+	// accounting if it cares, and tests read it to pin determinism.
+	MeanLatency float64
+}
+
+// FaultStats counts what the injector did.
+type FaultStats struct {
+	// Ops is the number of Save/Load operations seen.
+	Ops uint64
+	// WriteFails, TornWrites, LostOld and ReadFails count injections.
+	WriteFails, TornWrites, LostOld, ReadFails uint64
+	// Latency is the total injected virtual latency.
+	Latency float64
+}
+
+// FaultStore wraps an inner store with deterministic, seeded fault
+// injection. Compose as Checked(NewFaultStore(inner, plan)): the fault
+// layer tears sealed frames, the codec layer detects the tears.
+type FaultStore struct {
+	inner Store
+	plan  FaultPlan
+
+	mu    sync.Mutex
+	ops   uint64
+	stats FaultStats
+}
+
+// NewFaultStore wraps inner with the given fault plan.
+func NewFaultStore(inner Store, plan FaultPlan) *FaultStore {
+	return &FaultStore{inner: inner, plan: plan}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (f *FaultStore) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// opStream returns the keyed stream for the next operation and the
+// operation's index, advancing the counter.
+func (f *FaultStore) opStream() *rng.Stream {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.stats.Ops++
+	return rng.New(f.plan.Seed).Keyed(f.ops)
+}
+
+// lat draws and accumulates injected latency. Draw order within an
+// operation is fixed (latency first, then the fault decision), which is
+// part of the determinism contract.
+func (f *FaultStore) lat(s *rng.Stream) {
+	if f.plan.MeanLatency <= 0 {
+		return
+	}
+	d := s.ExpFloat64() * f.plan.MeanLatency
+	f.mu.Lock()
+	f.stats.Latency += d
+	f.mu.Unlock()
+}
+
+// Save injects write faults around the inner Save.
+func (f *FaultStore) Save(run string, seq uint64, payload []byte) error {
+	s := f.opStream()
+	f.lat(s)
+	u := s.Float64()
+	switch {
+	case u < f.plan.WriteFail:
+		f.count(func(st *FaultStats) { st.WriteFails++ })
+		return fmt.Errorf("save %s/%d: %w", run, seq, ErrInjectedWrite)
+	case u < f.plan.WriteFail+f.plan.TornWrite:
+		// Persist a strict prefix — at least one byte short, possibly
+		// almost nothing — and report failure, as a mid-write crash
+		// would.
+		cut := 0
+		if len(payload) > 1 {
+			cut = 1 + s.IntN(len(payload)-1)
+		}
+		if err := f.inner.Save(run, seq, payload[:cut]); err != nil {
+			return err
+		}
+		f.count(func(st *FaultStats) { st.TornWrites++ })
+		return fmt.Errorf("save %s/%d: torn after %d of %d bytes: %w", run, seq, cut, len(payload), ErrInjectedWrite)
+	}
+	if err := f.inner.Save(run, seq, payload); err != nil {
+		return err
+	}
+	if s.Float64() < f.plan.LoseOld {
+		f.loseOld(run, seq, s)
+	}
+	return nil
+}
+
+// loseOld deletes one keyed-chosen checkpoint with sequence below seq.
+func (f *FaultStore) loseOld(run string, seq uint64, s *rng.Stream) {
+	seqs, err := f.inner.List(run)
+	if err != nil {
+		return
+	}
+	older := seqs[:0]
+	for _, q := range seqs {
+		if q < seq {
+			older = append(older, q)
+		}
+	}
+	if len(older) == 0 {
+		return
+	}
+	victim := older[s.IntN(len(older))]
+	if f.inner.Delete(run, victim) == nil {
+		f.count(func(st *FaultStats) { st.LostOld++ })
+	}
+}
+
+// Load injects read faults around the inner Load.
+func (f *FaultStore) Load(run string, seq uint64) ([]byte, error) {
+	s := f.opStream()
+	f.lat(s)
+	if s.Float64() < f.plan.ReadFail {
+		f.count(func(st *FaultStats) { st.ReadFails++ })
+		return nil, fmt.Errorf("load %s/%d: %w", run, seq, ErrInjectedRead)
+	}
+	return f.inner.Load(run, seq)
+}
+
+// List delegates uninstrumented: enumeration is resume bookkeeping, and
+// the interesting failure modes (missing or corrupt entries) are
+// injected through Save/Load already.
+func (f *FaultStore) List(run string) ([]uint64, error) { return f.inner.List(run) }
+
+// Delete delegates uninstrumented.
+func (f *FaultStore) Delete(run string, seq uint64) error { return f.inner.Delete(run, seq) }
+
+func (f *FaultStore) count(fn func(*FaultStats)) {
+	f.mu.Lock()
+	fn(&f.stats)
+	f.mu.Unlock()
+}
+
+var _ Store = (*FaultStore)(nil)

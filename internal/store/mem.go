@@ -1,0 +1,87 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// MemStore is the in-memory Store: a mutex-guarded map. It is the
+// default for campaigns (thousands of runs whose checkpoints exist only
+// to exercise the executor's rollback path) and for tests that want
+// store semantics without disk.
+type MemStore struct {
+	mu   sync.RWMutex
+	runs map[string]map[uint64][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{runs: make(map[string]map[uint64][]byte)}
+}
+
+// Save stores a copy of payload under (run, seq).
+func (m *MemStore) Save(run string, seq uint64, payload []byte) error {
+	if err := validRun(run); err != nil {
+		return err
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.runs[run]
+	if r == nil {
+		r = make(map[uint64][]byte)
+		m.runs[run] = r
+	}
+	r[seq] = cp
+	return nil
+}
+
+// Load returns a copy of checkpoint (run, seq).
+func (m *MemStore) Load(run string, seq uint64) ([]byte, error) {
+	if err := validRun(run); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	payload, ok := m.runs[run][seq]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// List returns run's sequence numbers, ascending.
+func (m *MemStore) List(run string) ([]uint64, error) {
+	if err := validRun(run); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r := m.runs[run]
+	out := make([]uint64, 0, len(r))
+	for seq := range r {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Delete removes checkpoint (run, seq).
+func (m *MemStore) Delete(run string, seq uint64) error {
+	if err := validRun(run); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.runs[run]
+	if _, ok := r[seq]; !ok {
+		return ErrNotFound
+	}
+	delete(r, seq)
+	return nil
+}
+
+var _ Store = (*MemStore)(nil)

@@ -1,0 +1,78 @@
+// Package store provides pluggable checkpoint storage for the execution
+// runtime (internal/exec): a small Store interface, an in-memory
+// implementation, a crash-durable file implementation built on the
+// repo's temp+fsync+rename discipline (internal/fsx), a checksummed
+// schema-versioned codec layer, and a deterministic fault-injecting
+// decorator for robustness testing.
+//
+// The intended composition is
+//
+//	store.Checked(store.NewFileStore(dir))                  // production
+//	store.Checked(store.NewFaultStore(inner, plan))         // fault drills
+//
+// Checked applies the codec: every payload is sealed (magic, schema
+// version, length, CRC-32) on Save and verified on Load, so a torn or
+// bit-rotted checkpoint surfaces as ErrCorrupt instead of being handed
+// to the executor as good state. The executor treats ErrCorrupt as
+// "fall back to the previous checkpoint", which is what makes torn
+// writes survivable rather than fatal.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNotFound reports a missing checkpoint (unknown run or sequence).
+var ErrNotFound = errors.New("store: checkpoint not found")
+
+// ErrCorrupt reports a checkpoint that failed codec verification: bad
+// magic, unsupported schema version, truncated payload or checksum
+// mismatch — the expected residue of a write torn by a crash.
+var ErrCorrupt = errors.New("store: corrupt checkpoint")
+
+// Store persists checkpoint payloads keyed by (run ID, sequence number).
+// Save overwrites: re-executing a segment after a rollback re-saves the
+// same sequence, and the latest write wins. Implementations must be safe
+// for concurrent use by multiple goroutines operating on distinct runs;
+// a single run is always driven by one executor at a time.
+type Store interface {
+	// Save persists payload as checkpoint seq of run.
+	Save(run string, seq uint64, payload []byte) error
+	// Load returns checkpoint seq of run, or ErrNotFound.
+	Load(run string, seq uint64) ([]byte, error)
+	// List returns the sequence numbers persisted for run, ascending.
+	// A run with no checkpoints yields an empty list and no error.
+	List(run string) ([]uint64, error)
+	// Delete removes checkpoint seq of run; removing a missing
+	// checkpoint returns ErrNotFound.
+	Delete(run string, seq uint64) error
+}
+
+// Latest returns the highest sequence number persisted for run, with
+// ok=false when the run has no checkpoints.
+func Latest(s Store, run string) (seq uint64, ok bool, err error) {
+	seqs, err := s.List(run)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(seqs) == 0 {
+		return 0, false, nil
+	}
+	return seqs[len(seqs)-1], true, nil
+}
+
+// validRun rejects run IDs that cannot double as path components — the
+// file store maps runs to directories, and the other implementations
+// enforce the same rule so a run ID that works on one store works on
+// all of them.
+func validRun(run string) error {
+	if run == "" {
+		return fmt.Errorf("store: empty run ID")
+	}
+	if strings.ContainsAny(run, "/\\") || run == "." || run == ".." {
+		return fmt.Errorf("store: run ID %q must be a single path component", run)
+	}
+	return nil
+}

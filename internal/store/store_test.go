@@ -1,0 +1,251 @@
+package store_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// stores returns every implementation under one name each, fresh per
+// call, so the contract tests run over all of them.
+func stores(t *testing.T) map[string]store.Store {
+	t.Helper()
+	fs, err := store.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]store.Store{
+		"mem":          store.NewMemStore(),
+		"file":         fs,
+		"checked(mem)": store.Checked(store.NewMemStore()),
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Load("run", 1); !errors.Is(err, store.ErrNotFound) {
+				t.Fatalf("Load on empty store: %v, want ErrNotFound", err)
+			}
+			seqs, err := s.List("run")
+			if err != nil || len(seqs) != 0 {
+				t.Fatalf("List on empty store: %v, %v", seqs, err)
+			}
+			for seq, payload := range map[uint64]string{1: "one", 3: "three", 2: "two"} {
+				if err := s.Save("run", seq, []byte(payload)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Save("other", 7, []byte("isolated")); err != nil {
+				t.Fatal(err)
+			}
+			seqs, err = s.List("run")
+			if err != nil || !reflect.DeepEqual(seqs, []uint64{1, 2, 3}) {
+				t.Fatalf("List = %v, %v; want ascending 1,2,3", seqs, err)
+			}
+			got, err := s.Load("run", 3)
+			if err != nil || string(got) != "three" {
+				t.Fatalf("Load(3) = %q, %v", got, err)
+			}
+			// Overwrite wins.
+			if err := s.Save("run", 3, []byte("three'")); err != nil {
+				t.Fatal(err)
+			}
+			got, err = s.Load("run", 3)
+			if err != nil || string(got) != "three'" {
+				t.Fatalf("Load(3) after overwrite = %q, %v", got, err)
+			}
+			if seq, ok, err := store.Latest(s, "run"); err != nil || !ok || seq != 3 {
+				t.Fatalf("Latest = %d, %v, %v", seq, ok, err)
+			}
+			if err := s.Delete("run", 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("run", 2); !errors.Is(err, store.ErrNotFound) {
+				t.Fatalf("double Delete: %v, want ErrNotFound", err)
+			}
+			seqs, _ = s.List("run")
+			if !reflect.DeepEqual(seqs, []uint64{1, 3}) {
+				t.Fatalf("List after delete = %v", seqs)
+			}
+			// Run isolation.
+			got, err = s.Load("other", 7)
+			if err != nil || string(got) != "isolated" {
+				t.Fatalf("other run perturbed: %q, %v", got, err)
+			}
+			// Run IDs must be path-safe on every implementation.
+			for _, bad := range []string{"", "a/b", `a\b`, ".", ".."} {
+				if err := s.Save(bad, 1, []byte("x")); err == nil {
+					t.Fatalf("Save accepted run ID %q", bad)
+				}
+			}
+		})
+	}
+}
+
+func TestCheckedDetectsCorruption(t *testing.T) {
+	mem := store.NewMemStore()
+	s := store.Checked(mem)
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	if err := s.Save("r", 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("r", 1)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	sealed, err := mem.Load("r", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string][]byte{
+		"truncated":   sealed[:len(sealed)/2],
+		"empty":       {},
+		"bad magic":   append([]byte("XXXXXXXX"), sealed[8:]...),
+		"flipped bit": flipBit(sealed, len(sealed)/2),
+		"flipped crc": flipBit(sealed, len(sealed)-1),
+	}
+	for name, mut := range mutations {
+		if err := mem.Save("r", 2, mut); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load("r", 2); !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("%s frame: Load = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// The intact frame still verifies.
+	if _, err := s.Load("r", 1); err != nil {
+		t.Fatalf("intact frame failed after corrupt siblings: %v", err)
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	out[i] ^= 0x40
+	return out
+}
+
+func TestFileStoreSurvivesDebris(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("r", 5, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Orphaned temp files and foreign names are not checkpoints.
+	for _, name := range []string{".tmp-12345", "notes.txt", "ckpt-xyz.bin"} {
+		if err := os.WriteFile(filepath.Join(dir, "r", name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := fs.List("r")
+	if err != nil || !reflect.DeepEqual(seqs, []uint64{5}) {
+		t.Fatalf("List with debris = %v, %v", seqs, err)
+	}
+	// Reopening the same directory sees the same state.
+	fs2, err := store.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Load("r", 5)
+	if err != nil || string(got) != "good" {
+		t.Fatalf("reopen Load = %q, %v", got, err)
+	}
+}
+
+func TestFaultStoreDeterminism(t *testing.T) {
+	plan := store.FaultPlan{Seed: 42, WriteFail: 0.2, TornWrite: 0.2, LoseOld: 0.3, ReadFail: 0.2, MeanLatency: 3}
+	script := func() (string, store.FaultStats) {
+		fs := store.NewFaultStore(store.NewMemStore(), plan)
+		var log strings.Builder
+		for seq := uint64(1); seq <= 20; seq++ {
+			err := fs.Save("r", seq, []byte(strings.Repeat("x", 64)))
+			log.WriteString(errSig(err))
+		}
+		for seq := uint64(1); seq <= 20; seq++ {
+			_, err := fs.Load("r", seq)
+			log.WriteString(errSig(err))
+		}
+		return log.String(), fs.Stats()
+	}
+	log1, st1 := script()
+	log2, st2 := script()
+	if log1 != log2 {
+		t.Fatalf("fault sequences differ:\n%s\n%s", log1, log2)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats differ: %+v vs %+v", st1, st2)
+	}
+	if st1.WriteFails == 0 || st1.TornWrites == 0 || st1.ReadFails == 0 || st1.LostOld == 0 {
+		t.Fatalf("plan injected nothing in some class: %+v", st1)
+	}
+	if st1.Latency <= 0 {
+		t.Fatalf("no injected latency: %+v", st1)
+	}
+}
+
+func errSig(err error) string {
+	switch {
+	case err == nil:
+		return "."
+	case errors.Is(err, store.ErrInjectedWrite):
+		return "W"
+	case errors.Is(err, store.ErrInjectedRead):
+		return "R"
+	case errors.Is(err, store.ErrNotFound):
+		return "n"
+	default:
+		return "?"
+	}
+}
+
+func TestFaultStoreTornWritesDetectedByChecked(t *testing.T) {
+	// All writes tear: every persisted frame must fail codec
+	// verification, and none may verify as good data.
+	inner := store.NewMemStore()
+	s := store.Checked(store.NewFaultStore(inner, store.FaultPlan{Seed: 7, TornWrite: 1}))
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := s.Save("r", seq, []byte(strings.Repeat("payload", 10))); !errors.Is(err, store.ErrInjectedWrite) {
+			t.Fatalf("torn save reported %v", err)
+		}
+	}
+	seqs, err := inner.List("r")
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("torn writes persisted nothing: %v, %v", seqs, err)
+	}
+	for _, seq := range seqs {
+		if _, err := s.Load("r", seq); !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("seq %d: torn frame loaded as %v, want ErrCorrupt", seq, err)
+		}
+	}
+}
+
+func TestFaultStoreLoseOldFallback(t *testing.T) {
+	// With LoseOld = 1 every save destroys one older checkpoint, so at
+	// most the newest plus... exactly one survivor chain remains; the
+	// newest is always intact.
+	s := store.NewFaultStore(store.NewMemStore(), store.FaultPlan{Seed: 3, LoseOld: 1})
+	for seq := uint64(1); seq <= 8; seq++ {
+		if err := s.Save("r", seq, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := s.List("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) >= 8 {
+		t.Fatalf("LoseOld=1 lost nothing: %v", seqs)
+	}
+	if seqs[len(seqs)-1] != 8 {
+		t.Fatalf("newest checkpoint lost: %v", seqs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -153,6 +154,9 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		nv, err := strconv.Atoi(strings.TrimSpace(parts[1]))
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad node: %w", line, err)
+		}
+		if math.IsNaN(tv) || math.IsInf(tv, 0) {
+			return nil, fmt.Errorf("trace: line %d: non-finite time %v", line, tv)
 		}
 		if tv < 0 || nv < 0 {
 			return nil, fmt.Errorf("trace: line %d: negative time or node", line)

@@ -179,3 +179,57 @@ func TestFitWeibullTraceHasSmallShape(t *testing.T) {
 		t.Errorf("fitted shape = %v, want ≈ 0.7", fit.Weib.Shape)
 	}
 }
+
+// TestReadCSVMalformedRows extends the error-path coverage with the
+// shapes real logs actually degrade into, and pins that the error names
+// the offending line.
+func TestReadCSVMalformedRows(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"extra field", "1,0,7\n", "line 1"},
+		{"negative node", "1,-2\n", "line 1"},
+		{"nan time", "NaN,0\n", "non-finite"},
+		{"inf time", "+Inf,0\n", "non-finite"},
+		{"bad row after good rows", "# header\n1,0\n2,0\nbroken row\n", "line 4"},
+		{"float node", "1,0.5\n", "bad node"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("accepted %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadCSVNonMonotoneTimes pins the repair contract for out-of-order
+// logs: ReadCSV sorts rather than rejects, the event set is preserved,
+// and the platform gaps of the sorted trace are all non-negative.
+func TestReadCSVNonMonotoneTimes(t *testing.T) {
+	in := "# nodes=3\n9,2\n1,0\n9,1\n4,0\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 4 || tr.Nodes != 3 {
+		t.Fatalf("parsed %d events over %d nodes", len(tr.Events), tr.Nodes)
+	}
+	for i, g := range tr.PlatformGaps() {
+		if g < 0 {
+			t.Fatalf("gap %d negative after sort: %v", i, g)
+		}
+	}
+	// Duplicate times are kept, not deduplicated.
+	times := map[float64]int{}
+	for _, e := range tr.Events {
+		times[e.Time]++
+	}
+	if times[9] != 2 {
+		t.Fatalf("duplicate-time events lost: %v", times)
+	}
+}

@@ -40,6 +40,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/exec"
 	"repro/internal/expectation"
 	"repro/internal/failure"
 	"repro/internal/rng"
@@ -177,6 +178,66 @@ func OptimalChainPlanBounded(g *Graph, m Model, initialRecovery float64, maxChec
 		return ChainResult{}, err
 	}
 	return core.SolveChainDPBounded(cp, maxCheckpoints)
+}
+
+// ExecReport summarizes an ExecutePlan campaign: the Proposition-1
+// planned expectation of the plan, the realized mean makespan over the
+// executed runs with its 99% confidence half-width, and the mean number
+// of failures survived per run.
+type ExecReport struct {
+	// Planned is the analytical expected makespan of the plan.
+	Planned float64
+	// Realized is the mean makespan over the executed runs.
+	Realized float64
+	// CI is the 99% confidence half-width of Realized.
+	CI float64
+	// MeanFailures is the mean failure count per run.
+	MeanFailures float64
+	// Runs is the number of executions.
+	Runs int
+}
+
+// WithinCI reports whether the realized mean lies within its confidence
+// interval of the planned expectation — the planned-vs-realized
+// validation the runtime experiments gate on.
+func (r ExecReport) WithinCI() bool {
+	d := r.Realized - r.Planned
+	if d < 0 {
+		d = -d
+	}
+	return d <= r.CI
+}
+
+// ExecutePlan runs a chain checkpoint plan on the crash-safe execution
+// runtime (internal/exec) runs times under Exponential failures with
+// the model's rate and downtime, and reports the realized makespan
+// against the Proposition-1 planned expectation. It is the
+// executed-counterpart of Simulate: the runtime advances task by task
+// under a virtual clock, loses uncheckpointed progress on every
+// failure, and rewinds to the latest checkpoint — so the realized mean
+// validates the planned expectation end to end.
+func ExecutePlan(g *Graph, m Model, checkpointAfter []bool, runs int, seed uint64) (ExecReport, error) {
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		return ExecReport{}, err
+	}
+	w, err := exec.NewChainWorkload(cp, checkpointAfter)
+	if err != nil {
+		return ExecReport{}, err
+	}
+	res, err := exec.Campaign(w, failure.Exponential{Lambda: m.Lambda}, exec.CampaignOptions{
+		Runs: runs, Seed: seed, Downtime: m.Downtime,
+	})
+	if err != nil {
+		return ExecReport{}, err
+	}
+	return ExecReport{
+		Planned:      w.Planned(m),
+		Realized:     res.Makespan.Mean(),
+		CI:           res.Makespan.CI(0.99),
+		MeanFailures: res.Failures.Mean(),
+		Runs:         res.Runs,
+	}, nil
 }
 
 // Exponential builds the memoryless failure law of the core model.

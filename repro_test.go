@@ -157,6 +157,42 @@ func TestFacadeReportAndBudget(t *testing.T) {
 	}
 }
 
+// TestFacadeExecutePlan drives the crash-safe runtime through the
+// facade: the realized mean must validate the planned expectation, and
+// the planned expectation must agree with the analytical plan value to
+// float association (same segment formula, different summation order).
+func TestFacadeExecutePlan(t *testing.T) {
+	g := buildChain(t)
+	m, err := repro.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := repro.OptimalChainPlan(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.ExecutePlan(g, m, plan.CheckpointAfter, 40000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Planned-plan.Expected) > 1e-12*plan.Expected {
+		t.Errorf("ExecutePlan planned %v ≠ analytical %v", rep.Planned, plan.Expected)
+	}
+	if rep.Runs != 40000 || rep.CI <= 0 {
+		t.Errorf("degenerate report %+v", rep)
+	}
+	if d := math.Abs(rep.Realized - rep.Planned); d > 4*rep.CI {
+		t.Errorf("realized %v too far from planned %v (|Δ|=%v, ci=%v)", rep.Realized, rep.Planned, d, rep.CI)
+	}
+	if !rep.WithinCI() && math.Abs(rep.Realized-rep.Planned) <= rep.CI {
+		t.Error("WithinCI inconsistent with its fields")
+	}
+
+	if _, err := repro.ExecutePlan(g, m, []bool{true}, 10, 1); err == nil {
+		t.Error("mis-sized checkpoint vector accepted")
+	}
+}
+
 func TestFacadeDistributions(t *testing.T) {
 	if _, err := repro.Exponential(0); err == nil {
 		t.Error("invalid exponential accepted")
