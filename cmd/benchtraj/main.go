@@ -793,6 +793,52 @@ func measureExec() (*Report, error) {
 	}
 	record("store_save/kind=mem", 4096, benchSave(store.Checked(store.NewMemStore())))
 	record("store_save/kind=file", 4096, benchSave(store.Checked(fileStore)))
+	// Quota layer on top of the mem row: the delta is the ledger's
+	// admit/commit accounting per save.
+	record("store_save/kind=quota", 4096, benchSave(store.NewQuotaStore(
+		store.NewQuotaLedger(store.Quota{}, nil), store.Checked(store.NewMemStore()))))
+
+	// Degraded-store resilience rows. exec_adaptive/replan is one
+	// suffix re-solve of the chain DP from the mid-plan frontier — the
+	// cost the adaptive executor pays each time drift crosses the
+	// hysteresis band. The run rows execute the full plan through a
+	// lossy, slow store (logically-keyed injector) with exponential
+	// backoff, static (no replanner) vs adaptive, so the delta reads as
+	// the end-to-end cost/benefit of online replanning at equal fault
+	// exposure.
+	replanner := exec.ChainReplanner{CP: cp}
+	record("exec_adaptive/replan", 64, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := replanner.Replan(32, 1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	benchAdaptive := func(rp exec.Replanner) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src.Reset()
+				st := store.Checked(store.NewFaultStore(store.NewMemStore(), store.FaultPlan{
+					Seed: 23, WriteFail: 0.1, ReadFail: 0.05, MeanLatency: 0.5, LogicalKeys: true,
+				}))
+				_, err := exec.Execute(w, src, exec.Options{
+					RunID: "bench", Store: st, Downtime: 0.5,
+					Adaptive: &exec.AdaptiveOptions{
+						Retry:       exec.ExpBackoff{Base: 0.25, Cap: 1, MaxAttempts: 4},
+						Replanner:   rp,
+						ReplanRatio: 1.3,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	record("exec_adaptive/run mode=static", 64, benchAdaptive(nil))
+	record("exec_adaptive/run mode=adaptive", 64, benchAdaptive(replanner))
 	return report, nil
 }
 

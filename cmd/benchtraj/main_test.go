@@ -136,17 +136,19 @@ func TestBenchtrajWritesReport(t *testing.T) {
 		}
 		execByName[m.Name] = m
 	}
-	// Three executor rows (bare + two stores) and two raw Save rows.
+	// Three executor rows (bare + two stores), three raw Save rows, and
+	// three degraded-store resilience rows.
 	for _, name := range []string{
 		"exec_run/store=none", "exec_run/store=mem", "exec_run/store=file",
-		"store_save/kind=mem", "store_save/kind=file",
+		"store_save/kind=mem", "store_save/kind=file", "store_save/kind=quota",
+		"exec_adaptive/replan", "exec_adaptive/run mode=static", "exec_adaptive/run mode=adaptive",
 	} {
 		if _, ok := execByName[name]; !ok {
 			t.Errorf("missing %s (have %v)", name, execRep.Results)
 		}
 	}
-	if len(execRep.Results) != 5 {
-		t.Errorf("got %d exec results, want 5", len(execRep.Results))
+	if len(execRep.Results) != 9 {
+		t.Errorf("got %d exec results, want 9", len(execRep.Results))
 	}
 }
 

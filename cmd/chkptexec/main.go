@@ -26,10 +26,29 @@
 //	chkptexec -workflow wf.json -dir /tmp/ckpts            # resumes
 //	chkptexec -workflow wf.json -dir /tmp/ckpts -faults -retries 4
 //
+// Degraded-store resilience — any of -retry-policy, -replan-threshold,
+// -quota, -secondary-dir or -tenants switches the persisted run onto
+// the adaptive executor (health-tracked retries with backoff, online
+// suffix replanning under cost drift, failover, per-tenant quotas) and
+// prints a resilience summary. -tenants N runs N concurrent persisted
+// runs (<run-id>-t0 .. -t<N-1>) against one shared store stack; crash
+// flags then apply to tenant 0 only:
+//
+//	chkptexec -workflow wf.json -dir /tmp/ckpts -faults -fault-latency 2 \
+//	    -retry-policy exp:0.5 -replan-threshold 1.3
+//	chkptexec -workflow wf.json -dir /tmp/ckpts -faults \
+//	    -retry-policy fixed:2 -secondary-dir /tmp/ckpts2
+//	chkptexec -workflow wf.json -dir /tmp/ckpts -tenants 4 -quota ckpts:3
+//
+// Quota accounting is per process: a resumed invocation starts with an
+// empty ledger and only counts what it retains from then on.
+//
 // Chain workflows choose the checkpoint vector with -strategy
 // (dp | always | never | daly | young | every:k); general DAGs are
 // linearized in topological order and placed optimally by the per-order
-// DP under -costmodel (last-task | live-set).
+// DP under -costmodel (last-task | live-set). The same construction
+// yields the online replanner: chains re-solve the suffix chain DP,
+// DAGs the per-order placement DP under the chosen cost model.
 package main
 
 import (
@@ -41,6 +60,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -68,6 +88,20 @@ type config struct {
 	crashSaves  int
 	faults      bool
 	faultSeed   uint64
+
+	retryPolicy     string
+	replanThreshold float64
+	quota           string
+	tenants         int
+	secondaryDir    string
+	faultLatency    float64
+}
+
+// adaptive reports whether any resilience flag asks for the adaptive
+// executor.
+func (c config) adaptive() bool {
+	return c.retryPolicy != "" || c.replanThreshold > 1 || c.quota != "" ||
+		c.secondaryDir != "" || c.tenants > 1
 }
 
 func main() {
@@ -86,6 +120,12 @@ func main() {
 	flag.IntVar(&cfg.crashSaves, "crash-saves", 0, "kill the run after this many checkpoint saves")
 	flag.BoolVar(&cfg.faults, "faults", false, "wrap the store in the deterministic fault injector")
 	flag.Uint64Var(&cfg.faultSeed, "fault-seed", 42, "fault injector seed")
+	flag.StringVar(&cfg.retryPolicy, "retry-policy", "", "adaptive save retry policy: none | fixed:<n> | exp[:base[:factor[:cap[:max]]]] (enables the adaptive executor)")
+	flag.Float64Var(&cfg.replanThreshold, "replan-threshold", 0, "hysteresis ratio of effective vs planned checkpoint cost that triggers online replanning (> 1 enables; adaptive)")
+	flag.StringVar(&cfg.quota, "quota", "", "per-tenant retained-checkpoint quota, e.g. ckpts:4, bytes:8192 or ckpts:4,bytes:8192 (adaptive; per-process accounting)")
+	flag.IntVar(&cfg.tenants, "tenants", 1, "run this many concurrent tenants (<run-id>-t<i>) against one shared store stack (adaptive)")
+	flag.StringVar(&cfg.secondaryDir, "secondary-dir", "", "failover checkpoint store directory (adaptive)")
+	flag.Float64Var(&cfg.faultLatency, "fault-latency", 0, "mean injected store latency per operation (with -faults)")
 	flag.Parse()
 	if cfg.wfPath == "" {
 		flag.Usage()
@@ -111,7 +151,7 @@ func run(cfg config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w, desc, err := buildWorkload(g, m, cfg)
+	w, replanner, desc, err := buildWorkload(g, m, cfg)
 	if err != nil {
 		return err
 	}
@@ -120,26 +160,33 @@ func run(cfg config, out io.Writer) error {
 		desc, w.Len(), w.Segments(), planned)
 
 	if cfg.dir == "" {
+		if cfg.adaptive() {
+			return fmt.Errorf("resilience flags (-retry-policy, -replan-threshold, -quota, -tenants, -secondary-dir) require a persisted run: set -dir")
+		}
 		return runCampaign(w, m, planned, cfg, out)
 	}
-	return runPersisted(w, m, planned, cfg, out)
+	if cfg.tenants > 1 {
+		return runTenants(g, m, planned, replanner, cfg, out)
+	}
+	return runPersisted(w, m, planned, replanner, cfg, out)
 }
 
-// buildWorkload compiles the workflow into an executable workload:
-// chains via the strategy flag, general DAGs via topological
-// linearization plus the exact placement DP under the cost model flag.
-func buildWorkload(g *dag.Graph, m expectation.Model, cfg config) (*exec.Workload, string, error) {
+// buildWorkload compiles the workflow into an executable workload plus
+// the matching online replanner: chains via the strategy flag and the
+// suffix chain DP, general DAGs via topological linearization plus the
+// exact placement DP under the cost model flag.
+func buildWorkload(g *dag.Graph, m expectation.Model, cfg config) (*exec.Workload, exec.Replanner, string, error) {
 	if _, isChain := g.IsLinearChain(); isChain {
 		cp, _, err := core.NewChainProblem(g, m, 0)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		ck, err := chainStrategy(cp, cfg.strategy)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		w, err := exec.NewChainWorkload(cp, ck)
-		return w, "chain/" + cfg.strategy, err
+		return w, exec.ChainReplanner{CP: cp}, "chain/" + cfg.strategy, err
 	}
 	var cm core.CostModel
 	switch cfg.costmodel {
@@ -148,18 +195,80 @@ func buildWorkload(g *dag.Graph, m expectation.Model, cfg config) (*exec.Workloa
 	case "live-set":
 		cm = core.LiveSetCosts{}
 	default:
-		return nil, "", fmt.Errorf("unknown cost model %q (want last-task | live-set)", cfg.costmodel)
+		return nil, nil, "", fmt.Errorf("unknown cost model %q (want last-task | live-set)", cfg.costmodel)
 	}
 	order, err := g.TopologicalOrder()
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	sol, err := core.SolveOrderDP(g, order, m, cm)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	w, err := exec.NewDAGWorkload(g, sol.Plan(), cm)
-	return w, "dag/" + cm.Name(), err
+	return w, exec.OrderReplanner{G: g, Order: order, M: m, CM: cm}, "dag/" + cm.Name(), err
+}
+
+// parseRetryPolicy resolves the -retry-policy spelling.
+func parseRetryPolicy(name string) (exec.RetryPolicy, error) {
+	switch {
+	case name == "" || name == "none":
+		return exec.NoRetry{}, nil
+	case strings.HasPrefix(name, "fixed:"):
+		n, err := strconv.Atoi(name[len("fixed:"):])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad retry policy %q: want fixed:<positive n>", name)
+		}
+		return exec.FixedRetry{Attempts: n}, nil
+	case name == "exp" || strings.HasPrefix(name, "exp:"):
+		pol := exec.ExpBackoff{Base: 0.5}
+		parts := strings.Split(name, ":")[1:]
+		dst := []*float64{&pol.Base, &pol.Factor, &pol.Cap}
+		for i, part := range parts {
+			if i == len(dst) {
+				n, err := strconv.Atoi(part)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("bad retry policy %q: max attempts %q", name, part)
+				}
+				pol.MaxAttempts = n
+				break
+			}
+			v, err := strconv.ParseFloat(part, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad retry policy %q: %q", name, part)
+			}
+			*dst[i] = v
+		}
+		return pol, nil
+	}
+	return nil, fmt.Errorf("unknown retry policy %q (want none | fixed:<n> | exp[:base[:factor[:cap[:max]]]])", name)
+}
+
+// parseQuota resolves the -quota spelling into a per-tenant budget.
+func parseQuota(spec string) (store.Quota, error) {
+	var q store.Quota
+	if spec == "" {
+		return q, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		switch {
+		case strings.HasPrefix(part, "ckpts:"):
+			n, err := strconv.Atoi(part[len("ckpts:"):])
+			if err != nil || n <= 0 {
+				return q, fmt.Errorf("bad quota %q: want ckpts:<positive n>", part)
+			}
+			q.MaxCheckpoints = n
+		case strings.HasPrefix(part, "bytes:"):
+			n, err := strconv.ParseUint(part[len("bytes:"):], 10, 64)
+			if err != nil || n == 0 {
+				return q, fmt.Errorf("bad quota %q: want bytes:<positive n>", part)
+			}
+			q.MaxBytes = n
+		default:
+			return q, fmt.Errorf("bad quota %q (want ckpts:<n>, bytes:<n> or both, comma-separated)", part)
+		}
+	}
+	return q, nil
 }
 
 // chainStrategy resolves a strategy name to a checkpoint vector.
@@ -218,39 +327,187 @@ func runCampaign(w *exec.Workload, m expectation.Model, planned float64, cfg con
 	return nil
 }
 
-// runPersisted executes once against a crash-durable file store,
-// resuming from whatever a previous invocation left there.
-func runPersisted(w *exec.Workload, m expectation.Model, planned float64, cfg config, out io.Writer) error {
+// buildStore assembles the persisted store stack: file store, optional
+// fault injector, codec sealing, optional quota layer. The quota ledger
+// is passed in so concurrent tenants share one accounting.
+func buildStore(cfg config, ledger *store.QuotaLedger) (store.Store, error) {
 	fs, err := store.NewFileStore(cfg.dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var st store.Store = fs
 	if cfg.faults {
-		st = store.NewFaultStore(st, store.FaultPlan{
+		plan := store.FaultPlan{
 			Seed: cfg.faultSeed, WriteFail: 0.1, TornWrite: 0.1, LoseOld: 0.2, ReadFail: 0.1,
-		})
+			MeanLatency: cfg.faultLatency,
+			// The adaptive executor's replay identity requires fault
+			// outcomes to be a pure function of the logical operation,
+			// not of the injector's lifetime op index.
+			LogicalKeys: cfg.adaptive(),
+		}
+		if ledger != nil {
+			// Silent old-checkpoint loss would desync the quota
+			// ledger's retained accounting from the store.
+			plan.LoseOld = 0
+		}
+		st = store.NewFaultStore(st, plan)
 	}
 	st = store.Checked(st)
-	src := exec.NewKeyedSource(failure.Exponential{Lambda: m.Lambda}, cfg.seed, 1)
-	res, err := exec.Execute(w, src, exec.Options{
-		RunID: cfg.runID, Store: st, Downtime: m.Downtime,
-		SaveRetries: cfg.retries, CrashAfterEvents: cfg.crashEvents, CrashAfterSaves: cfg.crashSaves,
-	})
+	if ledger != nil {
+		st = store.NewQuotaStore(ledger, st)
+	}
+	return st, nil
+}
+
+// buildAdaptive assembles the AdaptiveOptions the resilience flags ask
+// for; nil when no resilience flag is set.
+func buildAdaptive(cfg config, replanner exec.Replanner) (*exec.AdaptiveOptions, exec.RetryPolicy, error) {
+	if !cfg.adaptive() {
+		return nil, nil, nil
+	}
+	pol, err := parseRetryPolicy(cfg.retryPolicy)
+	if err != nil {
+		return nil, nil, err
+	}
+	ao := &exec.AdaptiveOptions{Retry: pol, ReplanRatio: cfg.replanThreshold}
+	if cfg.replanThreshold > 1 {
+		ao.Replanner = replanner
+	}
+	if cfg.secondaryDir != "" {
+		sfs, err := store.NewFileStore(cfg.secondaryDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		ao.Secondary = store.Checked(sfs)
+	}
+	return ao, pol, nil
+}
+
+// quotaLedger builds the per-process quota ledger, nil when -quota is
+// unset.
+func quotaLedger(cfg config) (*store.QuotaLedger, error) {
+	if cfg.quota == "" {
+		return nil, nil
+	}
+	q, err := parseQuota(cfg.quota)
+	if err != nil {
+		return nil, err
+	}
+	return store.NewQuotaLedger(q, nil), nil
+}
+
+// reportResult prints one invocation's outcome; prefix labels the
+// tenant in multi-tenant mode.
+func reportResult(out io.Writer, prefix string, cfg config, planned float64, res *exec.Result, err error) error {
 	if res != nil && res.Resumed {
-		fmt.Fprintf(out, "resumed from checkpoint %d (%d journal events restored)\n",
-			res.ResumeSeq, res.RestoredEvents)
+		fmt.Fprintf(out, "%sresumed from checkpoint %d (%d journal events restored)\n",
+			prefix, res.ResumeSeq, res.RestoredEvents)
 	}
 	if errors.Is(err, exec.ErrCrashed) {
-		fmt.Fprintf(out, "crashed as requested: %v\n", err)
-		fmt.Fprintf(out, "state persists in %s — re-run without the crash flag to resume\n", cfg.dir)
+		fmt.Fprintf(out, "%scrashed as requested: %v\n", prefix, err)
+		fmt.Fprintf(out, "%sstate persists in %s — re-run without the crash flag to resume\n", prefix, cfg.dir)
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "completed: makespan %.4f (planned %.4f), %d failures, %d checkpoints, %d saves this invocation\n",
-		res.Makespan, planned, res.Failures, res.Checkpoints, res.Saves)
-	fmt.Fprintf(out, "journal: %d events, hash %016x\n", len(res.Journal), res.Journal.Hash())
+	fmt.Fprintf(out, "%scompleted: makespan %.4f (planned %.4f), %d failures, %d checkpoints, %d saves this invocation\n",
+		prefix, res.Makespan, planned, res.Failures, res.Checkpoints, res.Saves)
+	fmt.Fprintf(out, "%sjournal: %d events, hash %016x\n", prefix, len(res.Journal), res.Journal.Hash())
+	return nil
+}
+
+// reportResilience prints the adaptive executor's summary line.
+func reportResilience(out io.Writer, prefix string, pol exec.RetryPolicy, res *exec.Result) {
+	fmt.Fprintf(out, "%sresilience: policy %s, replans %d, save give-ups %d, level %s, store overhead %.4f, max rewind exposure %.4f\n",
+		prefix, pol.Name(), res.Replans, res.GiveUps, res.Level, res.StoreOverhead, res.MaxRewind)
+}
+
+// runPersisted executes once against a crash-durable file store,
+// resuming from whatever a previous invocation left there.
+func runPersisted(w *exec.Workload, m expectation.Model, planned float64, replanner exec.Replanner, cfg config, out io.Writer) error {
+	ledger, err := quotaLedger(cfg)
+	if err != nil {
+		return err
+	}
+	st, err := buildStore(cfg, ledger)
+	if err != nil {
+		return err
+	}
+	ao, pol, err := buildAdaptive(cfg, replanner)
+	if err != nil {
+		return err
+	}
+	src := exec.NewKeyedSource(failure.Exponential{Lambda: m.Lambda}, cfg.seed, 1)
+	res, err := exec.Execute(w, src, exec.Options{
+		RunID: cfg.runID, Store: st, Downtime: m.Downtime,
+		SaveRetries: cfg.retries, CrashAfterEvents: cfg.crashEvents, CrashAfterSaves: cfg.crashSaves,
+		Adaptive: ao,
+	})
+	if rerr := reportResult(out, "", cfg, planned, res, err); rerr != nil || err != nil {
+		return rerr
+	}
+	if ao != nil {
+		reportResilience(out, "", pol, res)
+	}
+	return nil
+}
+
+// runTenants executes cfg.tenants concurrent persisted runs, one per
+// tenant, against one shared store stack (and one shared quota ledger).
+// Crash flags apply to tenant 0 only; every tenant resumes its own run
+// on the next invocation.
+func runTenants(g *dag.Graph, m expectation.Model, planned float64, replanner exec.Replanner, cfg config, out io.Writer) error {
+	ledger, err := quotaLedger(cfg)
+	if err != nil {
+		return err
+	}
+	st, err := buildStore(cfg, ledger)
+	if err != nil {
+		return err
+	}
+	ao, pol, err := buildAdaptive(cfg, replanner)
+	if err != nil {
+		return err
+	}
+	results := make([]*exec.Result, cfg.tenants)
+	errs := make([]error, cfg.tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.tenants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each tenant needs its own workload: the executor replans
+			// against executor-local segment state.
+			w, _, _, err := buildWorkload(g, m, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opts := exec.Options{
+				RunID:    fmt.Sprintf("%s-t%d", cfg.runID, i),
+				Store:    st,
+				Downtime: m.Downtime,
+				Adaptive: ao,
+			}
+			if i == 0 {
+				opts.CrashAfterEvents = cfg.crashEvents
+				opts.CrashAfterSaves = cfg.crashSaves
+			}
+			src := exec.NewKeyedSource(failure.Exponential{Lambda: m.Lambda}, cfg.seed, uint64(i+1))
+			results[i], errs[i] = exec.Execute(w, src, opts)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < cfg.tenants; i++ {
+		prefix := fmt.Sprintf("tenant %d: ", i)
+		if err := reportResult(out, prefix, cfg, planned, results[i], errs[i]); err != nil {
+			return fmt.Errorf("tenant %d: %w", i, err)
+		}
+		if ao != nil && errs[i] == nil {
+			reportResilience(out, prefix, pol, results[i])
+		}
+	}
 	return nil
 }

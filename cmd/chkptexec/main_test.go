@@ -191,6 +191,142 @@ func TestPersistedWithFaults(t *testing.T) {
 	}
 }
 
+var resilienceLine = regexp.MustCompile(`resilience: policy ([a-z0-9:.]+), replans (\d+), save give-ups (\d+), level (\w+), store overhead ([0-9.]+), max rewind exposure ([0-9.]+)`)
+
+// TestPersistedAdaptiveDegraded drives the persisted path through a
+// degraded store (injected latency + write faults) on the adaptive
+// executor: the run must replan at least once, print the resilience
+// summary, and a killed invocation must resume to the same journal
+// hash as an uninterrupted adaptive run.
+func TestPersistedAdaptiveDegraded(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	adaptive := func(dir string) config {
+		cfg := baseConfig(wf)
+		cfg.dir = filepath.Join(base, dir)
+		cfg.faults = true
+		cfg.faultLatency = 2
+		cfg.retryPolicy = "exp:0.5"
+		cfg.replanThreshold = 1.3
+		return cfg
+	}
+
+	var refOut bytes.Buffer
+	if err := run(adaptive("ref"), &refOut); err != nil {
+		t.Fatal(err)
+	}
+	refM := journalLine.FindStringSubmatch(refOut.String())
+	if refM == nil {
+		t.Fatalf("no journal line:\n%s", refOut.String())
+	}
+	res := resilienceLine.FindStringSubmatch(refOut.String())
+	if res == nil {
+		t.Fatalf("no resilience summary:\n%s", refOut.String())
+	}
+	if res[1] != "exp" {
+		t.Errorf("policy %q, want exp", res[1])
+	}
+	if res[2] == "0" {
+		t.Errorf("no replans under 2-unit store latency:\n%s", refOut.String())
+	}
+	if res[5] == "0.0000" {
+		t.Errorf("zero store overhead under injected latency:\n%s", refOut.String())
+	}
+
+	crashed := adaptive("crash")
+	crashed.crashEvents = 10
+	var crashOut bytes.Buffer
+	if err := run(crashed, &crashOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(crashOut.String(), "crashed as requested") {
+		t.Fatalf("crash flag did not crash:\n%s", crashOut.String())
+	}
+	resumed := crashed
+	resumed.crashEvents = 0
+	var resOut bytes.Buffer
+	if err := run(resumed, &resOut); err != nil {
+		t.Fatal(err)
+	}
+	resM := journalLine.FindStringSubmatch(resOut.String())
+	if resM == nil {
+		t.Fatalf("no journal line in resumed output:\n%s", resOut.String())
+	}
+	if resM[1] != refM[1] || resM[2] != refM[2] {
+		t.Errorf("resumed adaptive journal %s/%s differs from reference %s/%s",
+			resM[1], resM[2], refM[1], refM[2])
+	}
+}
+
+// TestPersistedMultiTenantQuota runs concurrent tenants against one
+// shared store stack under a per-tenant quota and checks every tenant
+// completes with its own resilience summary.
+func TestPersistedMultiTenantQuota(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	cfg := baseConfig(wf)
+	cfg.dir = filepath.Join(base, "shared")
+	cfg.faults = true
+	cfg.retryPolicy = "fixed:2"
+	cfg.quota = "ckpts:2"
+	cfg.tenants = 3
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for i := 0; i < cfg.tenants; i++ {
+		prefix := "tenant " + string(rune('0'+i)) + ": "
+		if !strings.Contains(s, prefix+"completed:") {
+			t.Errorf("tenant %d did not complete:\n%s", i, s)
+		}
+		if !strings.Contains(s, prefix+"resilience: policy fixed:2") {
+			t.Errorf("tenant %d missing resilience summary:\n%s", i, s)
+		}
+	}
+	// A 2-checkpoint quota on a 12-task dp plan must reject some saves.
+	if !resilienceLine.MatchString(s) {
+		t.Fatalf("no resilience line:\n%s", s)
+	}
+}
+
+// TestResilienceFlagsRequireDir pins the campaign-mode rejection.
+func TestResilienceFlagsRequireDir(t *testing.T) {
+	wf := chainWorkflow(t, t.TempDir(), 10)
+	cfg := baseConfig(wf)
+	cfg.retryPolicy = "exp"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Error("resilience flags without -dir accepted")
+	}
+}
+
+// TestParseRetryPolicy covers the flag grammar.
+func TestParseRetryPolicy(t *testing.T) {
+	for _, good := range []string{"", "none", "fixed:3", "exp", "exp:1", "exp:1:3", "exp:1:3:8", "exp:1:3:8:5"} {
+		if _, err := parseRetryPolicy(good); err != nil {
+			t.Errorf("parseRetryPolicy(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"bogus", "fixed:0", "fixed:x", "exp:-1", "exp:1:2:3:0", "exp:1:2:3:x"} {
+		if _, err := parseRetryPolicy(bad); err == nil {
+			t.Errorf("parseRetryPolicy(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseQuota covers the quota grammar.
+func TestParseQuota(t *testing.T) {
+	q, err := parseQuota("ckpts:4,bytes:8192")
+	if err != nil || q.MaxCheckpoints != 4 || q.MaxBytes != 8192 {
+		t.Errorf("parseQuota: %+v, %v", q, err)
+	}
+	for _, bad := range []string{"x", "ckpts:0", "bytes:-1", "ckpts:4,nope:1"} {
+		if _, err := parseQuota(bad); err == nil {
+			t.Errorf("parseQuota(%q) accepted", bad)
+		}
+	}
+}
+
 func TestMissingWorkflow(t *testing.T) {
 	cfg := baseConfig(filepath.Join(t.TempDir(), "nope.json"))
 	if err := run(cfg, &bytes.Buffer{}); err == nil {

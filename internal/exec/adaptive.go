@@ -1,0 +1,429 @@
+// Degraded-store resilience: everything the executor does beyond the
+// plain "save and hope" path lives here — the retry loop driven by a
+// RetryPolicy, the StoreHealth observer, online replanning with
+// hysteresis, and the degradation ladder (healthy → degraded →
+// failover → down).
+//
+// Determinism under adaptivity is the load-bearing design: every
+// decision is a pure function of state that round-trips through the
+// checkpoint payload. Store overhead is measured from the
+// deterministic fault injector's per-run latency ledger; replans are
+// journaled as (frontier, overhead) pairs and reconstructed by
+// replaying them through the pure Replanner; and the save outcomes of
+// commit k — which happen AFTER payload k is encoded — are re-observed
+// on resume by re-saving the restored payload through the same
+// logically-keyed store stack, regenerating the post-encode journal
+// events bit-for-bit. That is what keeps the crash-harness acceptance
+// (kill anywhere, resume, byte-identical journal) true even while the
+// executor is adapting to the store it is being killed on.
+//
+// A deliberate model choice: store overhead (injected latency and
+// backoff delays) advances the virtual clock and therefore the realized
+// makespan, but does NOT advance the failure source — checkpoint
+// traffic stalls on a storage side channel, not on the compute platform
+// whose failure process the plan models.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// AdaptiveOptions enables the degraded-store resilience layer. The
+// zero value of each field picks a sane default; the executor runs
+// adaptively whenever Options.Adaptive is non-nil (which requires a
+// configured Store).
+type AdaptiveOptions struct {
+	// Retry drives the save retry loop (nil = NoRetry). Only transient
+	// errors are retried; permanent errors (quota, corrupt) give up
+	// immediately and feed the degradation ladder.
+	Retry RetryPolicy
+	// Replanner re-solves plan suffixes; nil disables replanning.
+	Replanner Replanner
+	// ReplanRatio is the hysteresis band edge: a replan triggers when
+	// (C + overhead_now) / (C + overhead_at_last_plan) leaves
+	// [1/ReplanRatio, ReplanRatio]. Values ≤ 1 disable replanning.
+	ReplanRatio float64
+	// Cooldown is the minimum number of commits between replans
+	// (default 1).
+	Cooldown int
+	// BaseCost is the reference per-checkpoint cost C for drift ratios;
+	// 0 derives it as the mean checkpoint cost of the initial plan.
+	BaseCost float64
+	// Alpha is the health EWMA weight (default 0.25).
+	Alpha float64
+	// Window is the health failure-rate window in attempts (default 16,
+	// max 64).
+	Window int
+	// Secondary, when non-nil, is the failover store (compose it with
+	// Checked like the primary). It must persist as long as the primary:
+	// resuming a run that failed over lists and loads from both.
+	Secondary store.Store
+	// FailoverAfter is the number of consecutive commit give-ups that
+	// trigger failover to Secondary (default 2). A permanent error
+	// fails over immediately.
+	FailoverAfter int
+	// DownAfter is the number of consecutive give-ups (on the last
+	// store in the ladder) after which persistence is switched off
+	// (default 4). A permanent error goes down immediately.
+	DownAfter int
+}
+
+func (a *AdaptiveOptions) retry() RetryPolicy {
+	if a.Retry == nil {
+		return NoRetry{}
+	}
+	return a.Retry
+}
+
+func (a *AdaptiveOptions) cooldown() int {
+	if a.Cooldown <= 0 {
+		return 1
+	}
+	return a.Cooldown
+}
+
+func (a *AdaptiveOptions) failoverAfter() int {
+	if a.FailoverAfter <= 0 {
+		return 2
+	}
+	return a.FailoverAfter
+}
+
+func (a *AdaptiveOptions) downAfter() int {
+	if a.DownAfter <= 0 {
+		return 4
+	}
+	return a.DownAfter
+}
+
+// Save outcome codes packed into EvSaveResult's Arg (attempts<<3|code).
+const (
+	saveCodeOK        = 0
+	saveCodeExhausted = 1
+	saveCodePermanent = 2
+	saveCodeSkipped   = 3
+)
+
+// encodeSaveArg packs a save outcome for the journal.
+func encodeSaveArg(attempts, code int) int32 { return int32(attempts<<3 | code) }
+
+// saveOutcome is what one commit's save loop produced.
+type saveOutcome struct {
+	attempts   int
+	overhead   float64 // total injected latency + backoff delays
+	successLat float64 // latency of the successful attempt (0 on give-up)
+	ok         bool
+	code       int
+	err        error
+}
+
+// adaptiveSave runs the retry loop against the active store, reading
+// per-attempt injected latency from the store stack's per-run ledger
+// and serving policy backoff in virtual time. Fatal-class errors abort;
+// permanent-class errors give up without retrying; transient errors
+// retry per policy.
+func (ex *executor) adaptiveSave(seq uint64, payload []byte) (saveOutcome, error) {
+	pol := ex.ad.retry()
+	run := ex.opts.runID()
+	var out saveOutcome
+	for attempt := 1; ; attempt++ {
+		before, _ := store.LastOp(ex.store, run)
+		err := ex.store.Save(run, seq, payload)
+		after, ok := store.LastOp(ex.store, run)
+		var lat float64
+		if ok && after.Ops > before.Ops {
+			lat = after.Latency
+		}
+		out.overhead += lat
+		out.attempts = attempt
+		ex.health.ObserveAttempt(err != nil)
+		if err == nil {
+			out.ok = true
+			out.code = saveCodeOK
+			out.successLat = lat
+			return out, nil
+		}
+		out.err = err
+		switch ClassifyStoreError(err) {
+		case ClassFatal:
+			return out, fmt.Errorf("exec: saving checkpoint %d: %w", seq, err)
+		case ClassPermanent:
+			out.code = saveCodePermanent
+			return out, nil
+		}
+		delay, retry := pol.Backoff(attempt, out.overhead)
+		if !retry {
+			out.code = saveCodeExhausted
+			return out, nil
+		}
+		out.overhead += delay
+	}
+}
+
+// currentOverheadEstimate is the expected extra cost of the next
+// checkpoint: the health estimate, or 0 once persistence is off.
+func (ex *executor) currentOverheadEstimate() float64 {
+	if ex.level == LevelDown {
+		return 0
+	}
+	return ex.health.OverheadEstimate()
+}
+
+// noteExposure records the current crash-rewind exposure (virtual time
+// since the last PERSISTED checkpoint).
+func (ex *executor) noteExposure() {
+	if exp := ex.t - ex.lastPersistT; exp > ex.maxRewind {
+		ex.maxRewind = exp
+	}
+}
+
+// adaptiveCommit is the adaptive-mode commit: health event and replan
+// decision BEFORE the state is encoded (so both are part of the
+// persisted prefix), then the save with retries, overhead accounting,
+// outcome event and ladder update AFTER (regenerated on resume by
+// re-saving the restored payload).
+func (ex *executor) adaptiveCommit(s int) error {
+	est := ex.baseCost + ex.currentOverheadEstimate()
+	if err := ex.event(Event{Kind: EvHealth, Time: ex.t, Arg: int32(ex.level), Seq: math.Float64bits(est)}); err != nil {
+		return err
+	}
+	if err := ex.maybeReplan(s); err != nil {
+		return err
+	}
+	seq := uint64(s) + 1
+	payload := encodeState(ex.snapshot(seq, uint64(s)+1))
+	return ex.persist(seq, payload)
+}
+
+// persist is everything that happens to a checkpoint payload after it
+// is encoded: skip (persistence off), or save-with-retries plus clock,
+// health, exposure and ladder updates. The resume path calls it with
+// the restored payload to re-observe the same outcomes.
+func (ex *executor) persist(seq uint64, payload []byte) error {
+	if ex.level == LevelDown {
+		if err := ex.event(Event{Kind: EvSaveResult, Time: ex.t, Arg: encodeSaveArg(0, saveCodeSkipped), Seq: 0}); err != nil {
+			return err
+		}
+		ex.noteExposure()
+		return nil
+	}
+	out, fatal := ex.adaptiveSave(seq, payload)
+	if fatal != nil {
+		return fatal
+	}
+	ex.t += out.overhead
+	ex.met.StoreOverhead += out.overhead
+	if err := ex.event(Event{Kind: EvSaveResult, Time: ex.t, Arg: encodeSaveArg(out.attempts, out.code), Seq: math.Float64bits(out.overhead)}); err != nil {
+		return err
+	}
+	ex.health.ObserveCommit(out.successLat, out.overhead-out.successLat)
+	ex.noteExposure()
+	if out.ok {
+		ex.lastPersistT = ex.t
+		ex.consec = 0
+		ex.saves++
+		if n := ex.opts.CrashAfterSaves; n > 0 && ex.saves >= n {
+			return fmt.Errorf("exec: crash after %d checkpoint saves (t=%v): %w", ex.saves, ex.t, ErrCrashed)
+		}
+		return nil
+	}
+	ex.giveups++
+	ex.consec++
+	return ex.escalate(out.code == saveCodePermanent)
+}
+
+// escalate moves down the degradation ladder after a commit gave up:
+// failover to the secondary while one is available, persistence-off
+// past that. Permanent errors skip the consecutive-give-up thresholds.
+func (ex *executor) escalate(permanent bool) error {
+	switch {
+	case ex.level < LevelFailover && ex.ad.Secondary != nil &&
+		(permanent || ex.consec >= ex.ad.failoverAfter()):
+		ex.level = LevelFailover
+		ex.store = ex.ad.Secondary
+		ex.consec = 0
+		return ex.event(Event{Kind: EvDegrade, Time: ex.t, Arg: int32(ex.level)})
+	case ex.level < LevelDown && (ex.ad.Secondary == nil || ex.level >= LevelFailover) &&
+		(permanent || ex.consec >= ex.ad.downAfter()):
+		ex.level = LevelDown
+		return ex.event(Event{Kind: EvDegrade, Time: ex.t, Arg: int32(ex.level)})
+	}
+	return nil
+}
+
+// maybeReplan applies the hysteresis rule at commit s and splices a
+// re-solved suffix at the frontier when the effective checkpoint cost
+// has drifted out of the band since the plan was last (re)solved.
+func (ex *executor) maybeReplan(s int) error {
+	ad := ex.ad
+	if ad.Replanner == nil || ad.ReplanRatio <= 1 || ex.baseCost <= 0 {
+		return nil
+	}
+	from := ex.segEnd[s] + 1
+	if from >= len(ex.w.Order) {
+		return nil
+	}
+	if ex.lastReplanAt >= 0 && int64(s)-ex.lastReplanAt < int64(ad.cooldown()) {
+		return nil
+	}
+	overhead := ex.currentOverheadEstimate()
+	ratio := (ex.baseCost + overhead) / (ex.baseCost + ex.lastOverhead)
+	if ratio < ad.ReplanRatio && ratio > 1/ad.ReplanRatio {
+		return nil
+	}
+	segs, err := ad.Replanner.Replan(from, overhead)
+	if err != nil {
+		return fmt.Errorf("exec: replanning at frontier %d: %w", from, err)
+	}
+	if err := ex.spliceAt(from, segs); err != nil {
+		return err
+	}
+	ex.replans++
+	ex.lastOverhead = overhead
+	ex.lastReplanAt = int64(s)
+	if ex.level == LevelHealthy {
+		ex.level = LevelDegraded
+	}
+	return ex.event(Event{Kind: EvReplan, Time: ex.t, Arg: int32(from), Seq: math.Float64bits(overhead)})
+}
+
+// spliceAt replaces every segment at or past position from with segs,
+// validating that the splice covers [from, n−1] contiguously. The
+// executor's segment arrays are private copies, so splicing never
+// mutates the (possibly shared) Workload.
+func (ex *executor) spliceAt(from int, segs []core.Segment) error {
+	cut := 0
+	if from > 0 {
+		cut = -1
+		for i := range ex.segEnd {
+			if ex.segEnd[i] == from-1 {
+				cut = i + 1
+				break
+			}
+		}
+		if cut < 0 {
+			return fmt.Errorf("exec: splice frontier %d is not a segment boundary", from)
+		}
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("exec: empty splice at frontier %d", from)
+	}
+	want := from
+	for _, sg := range segs {
+		if sg.Start != want || sg.End < sg.Start {
+			return fmt.Errorf("exec: discontiguous splice at frontier %d (segment [%d,%d], want start %d)",
+				from, sg.Start, sg.End, want)
+		}
+		want = sg.End + 1
+	}
+	if want != len(ex.w.Order) {
+		return fmt.Errorf("exec: splice at frontier %d ends at %d, want %d", from, want-1, len(ex.w.Order)-1)
+	}
+	nStart := append(make([]int, 0, cut+len(segs)), ex.segStart[:cut]...)
+	nEnd := append(make([]int, 0, cut+len(segs)), ex.segEnd[:cut]...)
+	nCkpt := append(make([]float64, 0, cut+len(segs)), ex.segCkpt[:cut]...)
+	nRec := append(make([]float64, 0, cut+len(segs)), ex.segRec[:cut]...)
+	for _, sg := range segs {
+		nStart = append(nStart, sg.Start)
+		nEnd = append(nEnd, sg.End)
+		nCkpt = append(nCkpt, sg.Checkpoint)
+		nRec = append(nRec, sg.Recovery)
+	}
+	ex.segStart, ex.segEnd, ex.segCkpt, ex.segRec = nStart, nEnd, nCkpt, nRec
+	return nil
+}
+
+// resolveBaseCost derives the drift-reference checkpoint cost from the
+// ORIGINAL plan (deterministic, independent of later splices).
+func (ex *executor) resolveBaseCost() float64 {
+	if ex.ad.BaseCost > 0 {
+		return ex.ad.BaseCost
+	}
+	if len(ex.w.segCkpt) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range ex.w.segCkpt {
+		sum += c
+	}
+	return sum / float64(len(ex.w.segCkpt))
+}
+
+// restoreAdaptive rebuilds the adaptive state from a decoded
+// checkpoint: health, ladder position, hysteresis anchors, exposure
+// accounting, the active store, and the spliced segment layout
+// (reconstructed by replaying the journal's EvReplan events through the
+// configured replanner).
+func (ex *executor) restoreAdaptive(st *execState) error {
+	ex.health.commits = st.healthCommits
+	ex.health.ewmaLat = st.healthEwmaLat
+	ex.health.ewmaOver = st.healthEwmaOver
+	ex.health.bits = st.healthBits
+	ex.health.nbits = int(st.healthNbits)
+	ex.health.attempts = st.healthAttempts
+	ex.health.failures = st.healthFailures
+	ex.level = DegradeLevel(st.level)
+	ex.consec = int(st.consec)
+	ex.giveups = int(st.giveups)
+	ex.replans = int(st.replans)
+	ex.lastOverhead = st.lastOverhead
+	ex.lastReplanAt = int64(st.lastReplanAt1) - 1
+	ex.lastPersistT = st.lastPersistT
+	ex.maxRewind = st.maxRewind
+	if ex.level >= LevelFailover {
+		if ex.ad.Secondary == nil {
+			return fmt.Errorf("exec: checkpoint was saved after failover but no secondary store is configured")
+		}
+		ex.store = ex.ad.Secondary
+	}
+	for _, e := range st.journal {
+		if e.Kind != EvReplan {
+			continue
+		}
+		if ex.ad.Replanner == nil {
+			return fmt.Errorf("exec: journal records a replan at %d but no replanner is configured", e.Arg)
+		}
+		segs, err := ex.ad.Replanner.Replan(int(e.Arg), math.Float64frombits(e.Seq))
+		if err != nil {
+			return fmt.Errorf("exec: replaying replan at %d: %w", e.Arg, err)
+		}
+		if err := ex.spliceAt(int(e.Arg), segs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshot captures the executor's full state for encoding.
+func (ex *executor) snapshot(seq, nextSeg uint64) *execState {
+	st := &execState{
+		fp:      ex.fp,
+		seq:     seq,
+		nextSeg: nextSeg,
+		t:       ex.t,
+		met:     ex.met,
+		src:     ex.src.State(),
+		journal: ex.j,
+
+		healthCommits:  ex.health.commits,
+		healthEwmaLat:  ex.health.ewmaLat,
+		healthEwmaOver: ex.health.ewmaOver,
+		healthBits:     ex.health.bits,
+		healthNbits:    uint64(ex.health.nbits),
+		healthAttempts: ex.health.attempts,
+		healthFailures: ex.health.failures,
+		level:          uint64(ex.level),
+		consec:         uint64(ex.consec),
+		giveups:        uint64(ex.giveups),
+		replans:        uint64(ex.replans),
+		lastOverhead:   ex.lastOverhead,
+		lastReplanAt1:  uint64(ex.lastReplanAt + 1),
+		lastPersistT:   ex.lastPersistT,
+		maxRewind:      ex.maxRewind,
+	}
+	return st
+}

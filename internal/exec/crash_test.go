@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/expectation"
 	"repro/internal/failure"
 	"repro/internal/store"
 )
@@ -160,6 +161,174 @@ func TestCrashResumeUnderFaultInjection(t *testing.T) {
 				}
 				if res.Metrics != ref.Metrics {
 					t.Fatalf("plan %+v: metrics differ: %+v vs %+v", plan, res.Metrics, ref.Metrics)
+				}
+			}
+		})
+	}
+}
+
+// adaptiveDrill is one degraded-store kill/resume scenario: a workload,
+// a fault plan (logical keys — required so a fresh injector deals a
+// resumed run the same outcomes the uninterrupted run saw), an optional
+// quota and secondary, a retry policy and optionally a replanner.
+type adaptiveDrill struct {
+	name      string
+	w         *Workload
+	src       func() Source
+	plan      store.FaultPlan
+	quota     *store.Quota
+	secondary bool
+	retry     RetryPolicy
+	replanner func() Replanner
+}
+
+// adaptiveStack is one scenario's persistent storage: the inner stores
+// and quota ledger survive invocations, while the fault-injecting
+// wrapper is rebuilt per invocation — process-restart semantics, which
+// resets the injector's logical attempt counters exactly as the
+// contract requires.
+type adaptiveStack struct {
+	d      adaptiveDrill
+	mem    *store.MemStore
+	sec    *store.MemStore
+	ledger *store.QuotaLedger
+}
+
+func newAdaptiveStack(d adaptiveDrill) *adaptiveStack {
+	a := &adaptiveStack{d: d, mem: store.NewMemStore()}
+	if d.secondary {
+		a.sec = store.NewMemStore()
+	}
+	if d.quota != nil {
+		a.ledger = store.NewQuotaLedger(*d.quota, nil)
+	}
+	return a
+}
+
+func (a *adaptiveStack) options(crashEvents int) Options {
+	prim := store.Store(store.Checked(store.NewFaultStore(a.mem, a.d.plan)))
+	if a.ledger != nil {
+		prim = store.NewQuotaStore(a.ledger, prim)
+	}
+	ad := &AdaptiveOptions{
+		Retry:         a.d.retry,
+		ReplanRatio:   1.4,
+		FailoverAfter: 2,
+		DownAfter:     3,
+	}
+	if a.d.replanner != nil {
+		ad.Replanner = a.d.replanner()
+	}
+	if a.sec != nil {
+		ad.Secondary = store.Checked(a.sec)
+	}
+	return Options{
+		RunID: "acceptance", Store: prim, Downtime: 1,
+		CrashAfterEvents: crashEvents, Adaptive: ad,
+	}
+}
+
+// adaptiveDrills builds the degraded-store scenario matrix: chain plans
+// under drift+replan with exponential backoff and with fixed retries,
+// a quota that runs out mid-run, an always-failing primary with
+// failover, a no-retry ladder collapse, and a DAG live-set plan with
+// the order replanner.
+func adaptiveDrills(t *testing.T) []adaptiveDrill {
+	t.Helper()
+	cp, _ := chainProblem(t)
+	chainSrc := func() Source { return NewKeyedSource(failure.Exponential{Lambda: 0.08}, 101, 1) }
+	chainRP := func() Replanner { return ChainReplanner{CP: cp} }
+	g, plan := diamondDAG(t)
+	cm := core.LiveSetCosts{R0: 0.5}
+	dagW, err := NewDAGWorkload(g, plan, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := expectation.NewModel(0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []adaptiveDrill{
+		{
+			name: "chain/drift-exp-backoff", w: chainWorkload(t), src: chainSrc,
+			plan:  store.FaultPlan{Seed: 11, MeanLatency: 2.5, WriteFail: 0.2, ReadFail: 0.1, LogicalKeys: true},
+			retry: ExpBackoff{Base: 0.5, Cap: 4, MaxAttempts: 5}, replanner: chainRP,
+		},
+		{
+			name: "chain/torn-fixed-retry", w: chainWorkload(t), src: chainSrc,
+			plan:  store.FaultPlan{Seed: 12, MeanLatency: 1.5, WriteFail: 0.3, TornWrite: 0.2, LogicalKeys: true},
+			retry: FixedRetry{Attempts: 3}, replanner: chainRP,
+		},
+		{
+			name: "chain/quota-down", w: chainWorkload(t), src: chainSrc,
+			plan:  store.FaultPlan{Seed: 13, MeanLatency: 1, LogicalKeys: true},
+			quota: &store.Quota{MaxCheckpoints: 2},
+			retry: ExpBackoff{Base: 0.5, MaxAttempts: 3}, replanner: chainRP,
+		},
+		{
+			name: "chain/failover", w: chainWorkload(t), src: chainSrc,
+			plan:      store.FaultPlan{Seed: 14, WriteFail: 1, LogicalKeys: true},
+			secondary: true, retry: FixedRetry{Attempts: 1}, replanner: chainRP,
+		},
+		{
+			name: "chain/no-retry", w: chainWorkload(t), src: chainSrc,
+			plan:  store.FaultPlan{Seed: 15, MeanLatency: 1, WriteFail: 0.25, LogicalKeys: true},
+			retry: NoRetry{},
+		},
+		{
+			name: "dag/live-set-drift", w: dagW,
+			src:   func() Source { return NewKeyedSource(failure.Exponential{Lambda: 0.05}, 101, 2) },
+			plan:  store.FaultPlan{Seed: 16, MeanLatency: 2, WriteFail: 0.2, LogicalKeys: true},
+			retry: ExpBackoff{Base: 0.5, Cap: 4, MaxAttempts: 4},
+			replanner: func() Replanner {
+				return OrderReplanner{G: g, Order: order, M: m, CM: cm}
+			},
+		},
+	}
+}
+
+// TestAdaptiveCrashResumeEveryEventPoint is the resilience acceptance
+// property (the resume-under-backoff matrix): for every degraded-store
+// scenario, a run killed at EVERY possible journal length and resumed
+// once finishes with a journal byte-identical to the uninterrupted
+// run's — retries, backoff, replans, quota rejections, failover and
+// persistence-off included. In adaptive mode store trouble degrades
+// rather than errors out, so a single clean resume always completes.
+func TestAdaptiveCrashResumeEveryEventPoint(t *testing.T) {
+	for _, d := range adaptiveDrills(t) {
+		t.Run(d.name, func(t *testing.T) {
+			refStack := newAdaptiveStack(d)
+			ref, err := Execute(d.w, d.src(), refStack.options(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Journal.Count(EvComplete) != 1 {
+				t.Fatal("reference run did not complete")
+			}
+			n := len(ref.Journal)
+			for kill := 1; kill <= n; kill++ {
+				stack := newAdaptiveStack(d)
+				_, err := Execute(d.w, d.src(), stack.options(kill))
+				if err == nil {
+					t.Fatalf("kill@%d did not crash a %d-event run", kill, n)
+				}
+				if !errors.Is(err, ErrCrashed) {
+					t.Fatalf("kill@%d: unexpected error: %v", kill, err)
+				}
+				res, err := Execute(d.w, d.src(), stack.options(0))
+				if err != nil {
+					t.Fatalf("kill@%d: resume: %v", kill, err)
+				}
+				if !res.Journal.Equal(ref.Journal) {
+					t.Fatalf("kill@%d: resumed journal differs from reference (%d vs %d events)",
+						kill, len(res.Journal), len(ref.Journal))
+				}
+				if res.Metrics != ref.Metrics {
+					t.Fatalf("kill@%d: metrics differ: %+v vs %+v", kill, res.Metrics, ref.Metrics)
 				}
 			}
 		})

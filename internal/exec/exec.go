@@ -57,6 +57,11 @@ type Metrics struct {
 	RecoveryTime float64
 	// Useful is work plus checkpoint time that stuck.
 	Useful float64
+	// StoreOverhead is virtual time burned on the store side channel in
+	// adaptive mode — injected save latency plus retry backoff delays. It
+	// is included in Makespan but kept out of the sim.RunStats-aligned
+	// fields above (always 0 outside adaptive mode).
+	StoreOverhead float64
 }
 
 // Result is the outcome of one Execute call.
@@ -75,6 +80,15 @@ type Result struct {
 	Resumed        bool
 	ResumeSeq      uint64
 	RestoredEvents int
+	// Replans counts online replans applied over the run's lifetime
+	// (adaptive mode), GiveUps the commits whose save was abandoned,
+	// Level the final degradation-ladder position, and MaxRewind the
+	// worst crash-rewind exposure (virtual time between a moment of
+	// execution and the last PERSISTED checkpoint) the run ever carried.
+	Replans   int
+	GiveUps   int
+	Level     DegradeLevel
+	MaxRewind float64
 }
 
 // Options tunes an execution.
@@ -102,6 +116,12 @@ type Options struct {
 	// CrashAfterSaves, when positive, aborts with ErrCrashed right after
 	// this invocation's n-th successful store save.
 	CrashAfterSaves int
+	// Adaptive, when non-nil, enables the degraded-store resilience
+	// layer (health-tracked retries with backoff, online replanning,
+	// failover and persistence-off — see AdaptiveOptions). Requires a
+	// Store. SaveRetries is ignored in adaptive mode; Adaptive.Retry
+	// governs retries instead.
+	Adaptive *AdaptiveOptions
 }
 
 func (o Options) runID() string {
@@ -132,6 +152,26 @@ type executor struct {
 	curSeg  int
 	saves   int
 	budget  int
+
+	// Executor-local segment layout. Initially aliases the Workload's
+	// arrays; online replans replace the slices wholesale (spliceAt), so
+	// the shared Workload is never mutated.
+	segStart, segEnd []int
+	segCkpt, segRec  []float64
+
+	// Adaptive-mode state; zero / unused when ad is nil.
+	ad           *AdaptiveOptions
+	store        store.Store // active store (primary, or secondary after failover)
+	health       StoreHealth
+	level        DegradeLevel
+	consec       int // consecutive commit give-ups on the active store
+	giveups      int // lifetime commit give-ups
+	replans      int // replans applied (including replayed ones)
+	lastOverhead float64
+	lastReplanAt int64 // commit index of the last replan; −1 = never
+	lastPersistT float64
+	maxRewind    float64
+	baseCost     float64
 }
 
 // Execute runs the workload against src. With a store configured it
@@ -154,12 +194,29 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 		opts:   opts,
 		fp:     w.Fingerprint() ^ (src.Fingerprint() * 0x9e3779b97f4a7c15),
 		budget: opts.maxFailures(),
+
+		segStart: w.segStart,
+		segEnd:   w.segEnd,
+		segCkpt:  w.segCkpt,
+		segRec:   w.segRec,
+	}
+	if opts.Adaptive != nil {
+		if opts.Store == nil {
+			return nil, errors.New("exec: adaptive mode requires a store")
+		}
+		ex.ad = opts.Adaptive
+		ex.store = opts.Store
+		ex.health = newStoreHealth(opts.Adaptive.Alpha, opts.Adaptive.Window)
+		ex.lastReplanAt = -1
+		ex.baseCost = ex.resolveBaseCost()
 	}
 	res := &Result{}
 	startSeg := 0
-	if st, err := ex.loadResume(); err != nil {
+	st, raw, err := ex.loadResume()
+	if err != nil {
 		return res, err
-	} else if st != nil {
+	}
+	if st != nil {
 		ex.t = st.t
 		ex.met = st.met
 		ex.j = st.journal
@@ -168,9 +225,25 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 		res.Resumed = true
 		res.ResumeSeq = st.seq
 		res.RestoredEvents = len(st.journal)
+		if ex.ad != nil {
+			if err := ex.restoreAdaptive(st); err != nil {
+				return res, err
+			}
+		}
 	}
-	err := func() error {
-		for s := startSeg; s < w.Segments(); s++ {
+	err = func() error {
+		if st != nil && ex.ad != nil {
+			// Re-save the restored payload through the normal post-encode
+			// path. The save outcomes of commit k happen AFTER payload k is
+			// encoded, so they are not inside it; re-saving against the
+			// logically-keyed store stack regenerates the same outcome
+			// events, clock overhead and ladder moves the uninterrupted run
+			// produced at that commit.
+			if err := ex.persist(st.seq, raw); err != nil {
+				return err
+			}
+		}
+		for s := startSeg; s < len(ex.segStart); s++ {
 			if err := ex.runSegment(s); err != nil {
 				return err
 			}
@@ -181,10 +254,17 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 		return ex.event(Event{Kind: EvComplete, Time: ex.t})
 	}()
 	ex.met.Makespan = ex.t
+	if ex.ad != nil {
+		ex.noteExposure()
+	}
 	res.Metrics = ex.met
 	res.Journal = ex.j
 	res.Checkpoints = ex.j.Count(EvCheckpoint)
 	res.Saves = ex.saves
+	res.Replans = ex.replans
+	res.GiveUps = ex.giveups
+	res.Level = ex.level
+	res.MaxRewind = ex.maxRewind
 	return res, err
 }
 
@@ -222,7 +302,7 @@ func (ex *executor) piece(d float64) (done bool, err error) {
 	ex.t += ex.opts.Downtime
 	ex.met.Downtime += ex.opts.Downtime
 	// Recovery: failures possible; repeat until one completes.
-	rec := ex.w.segRec[ex.curSeg]
+	rec := ex.segRec[ex.curSeg]
 	for {
 		if next := ex.src.NextFailure(); next >= rec {
 			ex.src.Advance(rec)
@@ -256,7 +336,7 @@ func (ex *executor) strike() error {
 // restarting the attempt from the segment start after every failure.
 func (ex *executor) runSegment(s int) error {
 	ex.curSeg = s
-	start, end := ex.w.segStart[s], ex.w.segEnd[s]
+	start, end := ex.segStart[s], ex.segEnd[s]
 	for {
 		ex.attempt = 0
 		if err := ex.event(Event{Kind: EvSegmentStart, Time: ex.t, Arg: int32(start)}); err != nil {
@@ -279,7 +359,7 @@ func (ex *executor) runSegment(s int) error {
 		if failed {
 			continue
 		}
-		done, err := ex.piece(ex.w.segCkpt[s])
+		done, err := ex.piece(ex.segCkpt[s])
 		if err != nil {
 			return err
 		}
@@ -295,28 +375,30 @@ func (ex *executor) runSegment(s int) error {
 // already appended by runSegment, BEFORE the state is encoded here, so
 // the event is always inside the persisted journal prefix: a resume
 // from seq k replays from a journal that already records checkpoint k.
+// In adaptive mode the commit additionally journals health, may replan,
+// and routes the save through the retry policy and degradation ladder.
 func (ex *executor) commit(s int) error {
+	if ex.ad != nil {
+		return ex.adaptiveCommit(s)
+	}
 	if ex.opts.Store == nil {
 		return nil
 	}
 	seq := uint64(s) + 1
-	payload := encodeState(&execState{
-		fp:      ex.fp,
-		seq:     seq,
-		nextSeg: uint64(s) + 1,
-		t:       ex.t,
-		met:     ex.met,
-		src:     ex.src.State(),
-		journal: ex.j,
-	})
+	payload := encodeState(ex.snapshot(seq, uint64(s)+1))
 	var err error
 	for try := 0; try <= ex.opts.SaveRetries; try++ {
 		if err = ex.opts.Store.Save(ex.opts.runID(), seq, payload); err == nil {
 			break
 		}
+		if ClassifyStoreError(err) != ClassTransient {
+			// Retrying a permanent error (quota, corrupt entry) burns the
+			// budget without any chance of success.
+			return fmt.Errorf("exec: saving checkpoint %d: %w: %w", seq, ErrSavePermanent, err)
+		}
 	}
 	if err != nil {
-		return fmt.Errorf("exec: saving checkpoint %d: %w", seq, err)
+		return fmt.Errorf("exec: saving checkpoint %d: %w: %w", seq, ErrSaveExhausted, err)
 	}
 	ex.saves++
 	if n := ex.opts.CrashAfterSaves; n > 0 && ex.saves >= n {
@@ -325,50 +407,123 @@ func (ex *executor) commit(s int) error {
 	return nil
 }
 
-// loadResume finds the newest loadable, decodable checkpoint of this
-// run, skipping past corrupt frames, injected read failures (after
-// retries) and lost entries to older checkpoints. It returns nil with
-// no error when the run has no usable checkpoint (fresh start). A
-// fingerprint mismatch is a loud error: the store holds a different
-// workload's state and silently restarting would mask it.
-func (ex *executor) loadResume() (*execState, error) {
-	if ex.opts.Store == nil {
-		return nil, nil
-	}
+// resumeCandidate is one listed checkpoint and the store holding it.
+type resumeCandidate struct {
+	seq       uint64
+	secondary bool
+}
+
+// listResume merges the primary's checkpoint listing with the
+// secondary's (adaptive mode with a failover store), newest first,
+// preferring the secondary on equal sequence numbers — the secondary
+// only ever holds post-failover saves, which are the later writes.
+func (ex *executor) listResume() ([]resumeCandidate, error) {
 	seqs, err := ex.opts.Store.List(ex.opts.runID())
 	if err != nil {
 		return nil, fmt.Errorf("exec: listing checkpoints: %w", err)
 	}
-	for i := len(seqs) - 1; i >= 0; i-- {
-		var data []byte
-		for try := 0; try <= ex.opts.SaveRetries; try++ {
-			if data, err = ex.opts.Store.Load(ex.opts.runID(), seqs[i]); err == nil {
-				break
+	var sec []uint64
+	if ex.ad != nil && ex.ad.Secondary != nil {
+		if sec, err = ex.ad.Secondary.List(ex.opts.runID()); err != nil {
+			return nil, fmt.Errorf("exec: listing secondary checkpoints: %w", err)
+		}
+	}
+	cands := make([]resumeCandidate, 0, len(seqs)+len(sec))
+	i, k := len(seqs)-1, len(sec)-1
+	for i >= 0 || k >= 0 {
+		switch {
+		case i < 0 || (k >= 0 && sec[k] >= seqs[i]):
+			if i >= 0 && sec[k] == seqs[i] {
+				i--
+			}
+			cands = append(cands, resumeCandidate{seq: sec[k], secondary: true})
+			k--
+		default:
+			cands = append(cands, resumeCandidate{seq: seqs[i]})
+			i--
+		}
+	}
+	return cands, nil
+}
+
+// loadOnce loads one checkpoint with retries: the legacy SaveRetries
+// count, or — in adaptive mode — the retry policy's attempt limit.
+// Backoff delays are NOT served: resume happens outside the modeled
+// timeline (an uninterrupted run performs no loads), so load retries
+// must not advance any clock.
+func (ex *executor) loadOnce(st store.Store, seq uint64) ([]byte, error) {
+	if ex.ad != nil {
+		pol := ex.ad.retry()
+		for attempt := 1; ; attempt++ {
+			data, err := st.Load(ex.opts.runID(), seq)
+			if err == nil {
+				return data, nil
+			}
+			if ClassifyStoreError(err) != ClassTransient {
+				return nil, err
+			}
+			if _, retry := pol.Backoff(attempt, 0); !retry {
+				return nil, err
 			}
 		}
+	}
+	var data []byte
+	var err error
+	for try := 0; try <= ex.opts.SaveRetries; try++ {
+		if data, err = st.Load(ex.opts.runID(), seq); err == nil {
+			break
+		}
+	}
+	return data, err
+}
+
+// loadResume finds the newest loadable, decodable checkpoint of this
+// run, skipping past corrupt frames, injected read failures (after
+// retries) and lost entries to older checkpoints, consulting the
+// secondary store too when one is configured. It returns the decoded
+// state together with the raw payload (the adaptive resume re-saves it)
+// or nil with no error when the run has no usable checkpoint (fresh
+// start). A fingerprint mismatch is a loud error: the store holds a
+// different workload's state and silently restarting would mask it.
+func (ex *executor) loadResume() (*execState, []byte, error) {
+	if ex.opts.Store == nil {
+		return nil, nil, nil
+	}
+	cands, err := ex.listResume()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range cands {
+		from := ex.opts.Store
+		if c.secondary {
+			from = ex.ad.Secondary
+		}
+		data, err := ex.loadOnce(from, c.seq)
 		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrInjected) {
 			continue // fall back to an older checkpoint
 		}
 		if err != nil {
-			return nil, fmt.Errorf("exec: loading checkpoint %d: %w", seqs[i], err)
+			return nil, nil, fmt.Errorf("exec: loading checkpoint %d: %w", c.seq, err)
 		}
 		st, err := decodeState(data)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if st.fp != ex.fp {
-			return nil, fmt.Errorf("%w: checkpoint %d has %016x, want %016x",
-				ErrFingerprint, seqs[i], st.fp, ex.fp)
+			return nil, nil, fmt.Errorf("%w: checkpoint %d has %016x, want %016x",
+				ErrFingerprint, c.seq, st.fp, ex.fp)
 		}
-		return st, nil
+		return st, data, nil
 	}
-	return nil, nil
+	return nil, nil, nil
 }
 
 // execState is the decoded checkpoint payload: every accumulator the
 // executor owns, bit-exact, plus the source position and the journal
 // prefix. Bit-exact float round-tripping is what makes resumed
-// accumulations identical to uninterrupted ones.
+// accumulations identical to uninterrupted ones. The adaptive block
+// (health, ladder, hysteresis anchors, exposure accounting) rides along
+// as zeros for legacy runs.
 type execState struct {
 	fp      uint64
 	seq     uint64
@@ -377,14 +532,32 @@ type execState struct {
 	met     Metrics
 	src     SourceState
 	journal Journal
+
+	healthCommits  uint64
+	healthEwmaLat  float64
+	healthEwmaOver float64
+	healthBits     uint64
+	healthNbits    uint64
+	healthAttempts uint64
+	healthFailures uint64
+	level          uint64
+	consec         uint64
+	giveups        uint64
+	replans        uint64
+	lastOverhead   float64
+	lastReplanAt1  uint64 // commit index of last replan + 1; 0 = never
+	lastPersistT   float64
+	maxRewind      float64
 }
 
 // stateSchema versions the checkpoint payload (inside the store codec's
-// frame, which versions the framing itself).
-const stateSchema = 1
+// frame, which versions the framing itself). Schema 2 appended the
+// adaptive block to schema 1's twelve slots, reusing slot 11 (reserved)
+// for StoreOverhead.
+const stateSchema = 2
 
 // stateHeaderSize is the fixed part of the payload before the journal.
-const stateHeaderSize = 4 + 8*12
+const stateHeaderSize = 4 + 8*27
 
 // encodeState serializes the checkpoint payload.
 func encodeState(st *execState) []byte {
@@ -402,7 +575,22 @@ func encodeState(st *execState) []byte {
 		math.Float64bits(st.met.Useful),
 		st.src.Draws,
 		math.Float64bits(st.src.Consumed),
-		uint64(0), // reserved
+		math.Float64bits(st.met.StoreOverhead),
+		st.healthCommits,
+		math.Float64bits(st.healthEwmaLat),
+		math.Float64bits(st.healthEwmaOver),
+		st.healthBits,
+		st.healthNbits,
+		st.healthAttempts,
+		st.healthFailures,
+		st.level,
+		st.consec,
+		st.giveups,
+		st.replans,
+		math.Float64bits(st.lastOverhead),
+		st.lastReplanAt1,
+		math.Float64bits(st.lastPersistT),
+		math.Float64bits(st.maxRewind),
 	}
 	for i, v := range fields {
 		putU64(out[4+8*i:], v)
@@ -431,13 +619,30 @@ func decodeState(data []byte) (*execState, error) {
 		nextSeg: f(2),
 		t:       math.Float64frombits(f(3)),
 		met: Metrics{
-			Failures:     int(f(4)),
-			Lost:         math.Float64frombits(f(5)),
-			Downtime:     math.Float64frombits(f(6)),
-			RecoveryTime: math.Float64frombits(f(7)),
-			Useful:       math.Float64frombits(f(8)),
+			Failures:      int(f(4)),
+			Lost:          math.Float64frombits(f(5)),
+			Downtime:      math.Float64frombits(f(6)),
+			RecoveryTime:  math.Float64frombits(f(7)),
+			Useful:        math.Float64frombits(f(8)),
+			StoreOverhead: math.Float64frombits(f(11)),
 		},
 		src: SourceState{Draws: f(9), Consumed: math.Float64frombits(f(10))},
+
+		healthCommits:  f(12),
+		healthEwmaLat:  math.Float64frombits(f(13)),
+		healthEwmaOver: math.Float64frombits(f(14)),
+		healthBits:     f(15),
+		healthNbits:    f(16),
+		healthAttempts: f(17),
+		healthFailures: f(18),
+		level:          f(19),
+		consec:         f(20),
+		giveups:        f(21),
+		replans:        f(22),
+		lastOverhead:   math.Float64frombits(f(23)),
+		lastReplanAt1:  f(24),
+		lastPersistT:   math.Float64frombits(f(25)),
+		maxRewind:      math.Float64frombits(f(26)),
 	}
 	j, err := UnmarshalJournal(data[stateHeaderSize:])
 	if err != nil {

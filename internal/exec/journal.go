@@ -31,6 +31,29 @@ const (
 	EvCheckpoint
 	// EvComplete closes the journal; Time is the final makespan.
 	EvComplete
+	// EvHealth records the store-health estimate at a commit, BEFORE the
+	// state is encoded (adaptive mode only): Arg is the degradation
+	// level, Seq holds Float64bits of the effective checkpoint-cost
+	// estimate C_eff the replan decision is about to use.
+	EvHealth
+	// EvReplan records an online replan spliced at the frontier, BEFORE
+	// the state is encoded: Arg is the frontier position (first
+	// unexecuted position), Seq holds Float64bits of the per-checkpoint
+	// overhead the suffix was re-solved with. A resume reconstructs the
+	// spliced plan by replaying these events through the configured
+	// replanner.
+	EvReplan
+	// EvSaveResult records the outcome of one commit's save, AFTER the
+	// state was encoded (so it lands in the NEXT checkpoint's persisted
+	// prefix, and a resume regenerates it by re-saving the restored
+	// payload): Arg packs attempts<<3 | outcome code (see saveCode*),
+	// Seq holds Float64bits of the commit's total store overhead
+	// (injected latency + backoff delays), Time is the clock after that
+	// overhead was served.
+	EvSaveResult
+	// EvDegrade records a post-save degradation-ladder move (failover to
+	// the secondary store, or persistence-off): Arg is the new level.
+	EvDegrade
 )
 
 // String names the kind.
@@ -48,6 +71,14 @@ func (k EventKind) String() string {
 		return "checkpoint"
 	case EvComplete:
 		return "complete"
+	case EvHealth:
+		return "health"
+	case EvReplan:
+		return "replan"
+	case EvSaveResult:
+		return "save-result"
+	case EvDegrade:
+		return "degrade"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/expectation"
+)
+
+// Replanner re-solves the remaining suffix of a plan when the observed
+// effective checkpoint cost drifts from the planned one. Replan must be
+// a PURE function of (from, overhead): the executor records each replan
+// in the journal as an EvReplan{from, overhead} event and a resumed run
+// reconstructs the spliced plan by replaying those events, so a
+// replanner that consulted anything else would break replay identity.
+//
+// The returned segments cover positions [from, n−1] of the original
+// execution order with ABSOLUTE positions and the plan's TRUE
+// checkpoint/recovery costs — overhead inflates the costs only inside
+// the optimization, because the executor keeps paying the planned C in
+// the model and observes store overhead separately.
+type Replanner interface {
+	// Name identifies the replanner in summaries.
+	Name() string
+	// Replan re-solves positions [from, n−1] under a per-checkpoint
+	// store overhead estimate.
+	Replan(from int, overhead float64) ([]core.Segment, error)
+}
+
+// ChainReplanner re-solves chain suffixes through the chain-DP solver
+// portfolio (SolveChainDP / SolveChainDPBounded — kernel, monotone and
+// bounded arms included, exactly the solvers the initial plan came
+// from).
+type ChainReplanner struct {
+	// CP is the full original chain problem.
+	CP *core.ChainProblem
+	// MaxCheckpoints, when positive, bounds the checkpoints of each
+	// re-solved suffix (SolveChainDPBounded).
+	MaxCheckpoints int
+}
+
+// Name identifies the replanner.
+func (r ChainReplanner) Name() string { return "chain-dp" }
+
+// Replan solves the suffix chain problem with Ckpt inflated by overhead
+// for the decision, then rebuilds the chosen segments with the true
+// costs.
+func (r ChainReplanner) Replan(from int, overhead float64) ([]core.Segment, error) {
+	n := r.CP.Len()
+	if from < 0 || from >= n {
+		return nil, fmt.Errorf("exec: replan frontier %d out of range [0, %d)", from, n)
+	}
+	if overhead < 0 {
+		return nil, fmt.Errorf("exec: negative replan overhead %v", overhead)
+	}
+	initRec := r.CP.InitialRecovery
+	if from > 0 {
+		initRec = r.CP.Rec[from-1]
+	}
+	inflated := make([]float64, n-from)
+	for i := range inflated {
+		inflated[i] = r.CP.Ckpt[from+i] + overhead
+	}
+	decide := &core.ChainProblem{
+		Weights:         r.CP.Weights[from:],
+		Ckpt:            inflated,
+		Rec:             r.CP.Rec[from:],
+		InitialRecovery: initRec,
+		Model:           r.CP.Model,
+	}
+	var (
+		res core.ChainResult
+		err error
+	)
+	if r.MaxCheckpoints > 0 {
+		res, err = core.SolveChainDPBounded(decide, r.MaxCheckpoints)
+	} else {
+		res, err = core.SolveChainDP(decide)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exec: replanning chain suffix [%d:]: %w", from, err)
+	}
+	exact := &core.ChainProblem{
+		Weights:         r.CP.Weights[from:],
+		Ckpt:            r.CP.Ckpt[from:],
+		Rec:             r.CP.Rec[from:],
+		InitialRecovery: initRec,
+		Model:           r.CP.Model,
+	}
+	segs, err := exact.Segments(res.CheckpointAfter)
+	if err != nil {
+		return nil, err
+	}
+	for i := range segs {
+		segs[i].Start += from
+		segs[i].End += from
+	}
+	return segs, nil
+}
+
+// OrderReplanner re-solves DAG-plan suffixes along the FIXED original
+// linearization: the order is never re-linearized (executed prefixes
+// pin it), only the checkpoint placement over the remaining positions
+// is re-decided. Start-independent cost models route through the chain
+// solver portfolio on a positional suffix problem; general models
+// (LiveSetCosts) run the same Proposition-3 recurrence restricted to
+// the suffix, with every cost-model call made against the FULL order at
+// absolute positions — a suffix sub-order would distort live sets.
+type OrderReplanner struct {
+	// G and Order are the graph and the plan's linearization.
+	G     *dag.Graph
+	Order []int
+	// M carries λ and D; CM is the cost model the plan was solved under.
+	M  expectation.Model
+	CM core.CostModel
+}
+
+// Name identifies the replanner.
+func (r OrderReplanner) Name() string { return "order-dp/" + r.CM.Name() }
+
+// recoveryAt returns the recovery cost of the checkpoint preceding
+// position x under the cost model.
+func (r OrderReplanner) recoveryAt(x int) float64 {
+	if x == 0 {
+		return r.CM.InitialRecovery()
+	}
+	return r.CM.RecoveryCost(r.G, r.Order, x-1)
+}
+
+// Replan re-decides checkpoints over positions [from, n−1].
+func (r OrderReplanner) Replan(from int, overhead float64) ([]core.Segment, error) {
+	n := len(r.Order)
+	if from < 0 || from >= n {
+		return nil, fmt.Errorf("exec: replan frontier %d out of range [0, %d)", from, n)
+	}
+	if overhead < 0 {
+		return nil, fmt.Errorf("exec: negative replan overhead %v", overhead)
+	}
+	if si, ok := r.CM.(core.StartIndependentCosts); ok && si.CheckpointCostStartIndependent() {
+		return r.replanPositional(from, overhead)
+	}
+	return r.replanGeneral(from, overhead)
+}
+
+// replanPositional builds the positional suffix problem (valid because
+// checkpoint cost ignores the segment start) and reuses the chain
+// solver portfolio.
+func (r OrderReplanner) replanPositional(from int, overhead float64) ([]core.Segment, error) {
+	n := len(r.Order)
+	cp := &core.ChainProblem{
+		Weights:         make([]float64, n),
+		Ckpt:            make([]float64, n),
+		Rec:             make([]float64, n),
+		InitialRecovery: r.CM.InitialRecovery(),
+		Model:           r.M,
+	}
+	for i, id := range r.Order {
+		cp.Weights[i] = r.G.Task(id).Weight
+		cp.Ckpt[i] = r.CM.CheckpointCost(r.G, r.Order, i, i)
+		cp.Rec[i] = r.CM.RecoveryCost(r.G, r.Order, i)
+	}
+	return ChainReplanner{CP: cp}.Replan(from, overhead)
+}
+
+// replanGeneral runs the suffix DP with full-order cost-model calls:
+// E[x] = min over j ≥ x of ExpectedTime(w(x..j), C(x, j)+overhead,
+// R(x)) + E[j+1], reconstructing the argmin segmentation and rebuilding
+// it with the true costs.
+func (r OrderReplanner) replanGeneral(from int, overhead float64) ([]core.Segment, error) {
+	n := len(r.Order)
+	weights := make([]float64, n)
+	for i, id := range r.Order {
+		weights[i] = r.G.Task(id).Weight
+	}
+	best := make([]float64, n-from+1)
+	choice := make([]int, n-from)
+	best[n-from] = 0
+	for x := n - 1; x >= from; x-- {
+		rec := r.recoveryAt(x)
+		bx := math.Inf(1)
+		var w float64
+		cx := -1
+		for j := x; j < n; j++ {
+			w += weights[j]
+			c := r.CM.CheckpointCost(r.G, r.Order, x, j) + overhead
+			v := r.M.ExpectedTime(w, c, rec) + best[j+1-from]
+			if v < bx {
+				bx = v
+				cx = j
+			}
+		}
+		best[x-from] = bx
+		choice[x-from] = cx
+	}
+	var segs []core.Segment
+	for x := from; x < n; {
+		j := choice[x-from]
+		var w float64
+		for i := x; i <= j; i++ {
+			w += weights[i]
+		}
+		segs = append(segs, core.Segment{
+			Start:      x,
+			End:        j,
+			Work:       w,
+			Checkpoint: r.CM.CheckpointCost(r.G, r.Order, x, j),
+			Recovery:   r.recoveryAt(x),
+		})
+		x = j + 1
+	}
+	return segs, nil
+}
+
+var (
+	_ Replanner = ChainReplanner{}
+	_ Replanner = OrderReplanner{}
+)

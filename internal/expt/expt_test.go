@@ -28,7 +28,7 @@ func parseID(id string) (int, bool) {
 // registryNums is the expected experiment numbering: E1–E16 plus the
 // executor experiment E18 (17 was left unassigned when the runtime
 // work landed as one block).
-var registryNums = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18}
+var registryNums = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18, 19}
 
 func TestRegistryComplete(t *testing.T) {
 	all := expt.All()

@@ -93,4 +93,7 @@ func (c checked) Load(run string, seq uint64) ([]byte, error) {
 
 func (c checked) List(run string) ([]uint64, error) { return c.inner.List(run) }
 
+// Unwrap exposes the inner store for capability discovery.
+func (c checked) Unwrap() Store { return c.inner }
+
 func (c checked) Delete(run string, seq uint64) error { return c.inner.Delete(run, seq) }

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/rng"
@@ -20,10 +21,31 @@ var (
 
 // FaultPlan parameterizes the deterministic fault injector. All
 // probabilities are per-operation in [0, 1]; a zero plan injects
-// nothing. The same (plan, operation sequence) always injects the same
-// faults: each operation draws from a stream keyed by its index alone,
-// so determinism survives any amount of surrounding concurrency or
-// retry logic.
+// nothing.
+//
+// Keyed-stream contract (the determinism guarantee): every operation —
+// Save, Load, List and Delete alike — draws its injected latency and
+// fault decision from a private stream derived from the plan seed and
+// the operation's key, never from shared mutable stream state. The
+// draw order within an operation is fixed: latency first, then the
+// fault decision, then any fault-shaping draws (torn-write cut point,
+// lose-old victim). Two keying modes exist:
+//
+//   - Sequential (LogicalKeys = false, the default): operation i of the
+//     injector's lifetime draws from Keyed(i). The same operation
+//     SEQUENCE always injects the same faults, which is what the
+//     kill/resume drills of a single executor need.
+//
+//   - Logical (LogicalKeys = true): an operation draws from a stream
+//     keyed by (op kind, run, seq, attempt), where attempt counts how
+//     many times this exact (kind, run, seq) operation has been issued
+//     to this injector instance. The injected outcome is then a pure
+//     function of the logical operation, independent of how operations
+//     from different runs interleave — the mode required when several
+//     tenants share one injector concurrently, and when a resumed run
+//     must re-observe the same outcomes a fresh injector dealt the
+//     uninterrupted run (process restarts reset the attempt counters,
+//     exactly like the uninterrupted run's first encounter).
 type FaultPlan struct {
 	// Seed drives every injection decision.
 	Seed uint64
@@ -45,21 +67,36 @@ type FaultPlan struct {
 	// ReadFail is the probability a Load fails transiently.
 	ReadFail float64
 	// MeanLatency, when positive, adds an Exp-distributed virtual
-	// latency to every operation, accumulated in Stats.Latency. Nothing
-	// sleeps: the executor folds the total into its virtual clock
-	// accounting if it cares, and tests read it to pin determinism.
+	// latency to EVERY operation — Save, Load, List and Delete —
+	// accumulated in Stats.Latency and attributable per run through
+	// RunLatency. Nothing sleeps: the executor folds the total into its
+	// virtual clock accounting if it cares, and tests read it to pin
+	// determinism.
 	MeanLatency float64
+	// LogicalKeys selects logical (per-operation identity) keying over
+	// sequential (lifetime op index) keying; see the type comment.
+	LogicalKeys bool
 }
 
 // FaultStats counts what the injector did.
 type FaultStats struct {
-	// Ops is the number of Save/Load operations seen.
+	// Ops is the number of operations seen (Save, Load, List, Delete).
 	Ops uint64
 	// WriteFails, TornWrites, LostOld and ReadFails count injections.
 	WriteFails, TornWrites, LostOld, ReadFails uint64
-	// Latency is the total injected virtual latency.
+	// Latency is the total injected virtual latency across all runs.
 	Latency float64
 }
+
+// Fault-stream op kinds, part of the logical keying contract: each kind
+// keys a disjoint stream family so loads can never perturb save
+// outcomes.
+const (
+	opSave uint64 = iota + 1
+	opLoad
+	opList
+	opDelete
+)
 
 // FaultStore wraps an inner store with deterministic, seeded fault
 // injection. Compose as Checked(NewFaultStore(inner, plan)): the fault
@@ -68,14 +105,45 @@ type FaultStore struct {
 	inner Store
 	plan  FaultPlan
 
-	mu    sync.Mutex
-	ops   uint64
-	stats FaultStats
+	mu       sync.Mutex
+	ops      uint64
+	stats    FaultStats
+	runLat   map[string]float64
+	runOps   map[string]uint64
+	lastLat  map[string]float64
+	attempts map[faultOpKey]uint64
+}
+
+// RunOp is a per-run operation observation: Ops counts the run's
+// operations that reached this injector, Latency is the injected
+// latency of the most recent one — the EXACT drawn value, not a
+// difference of accumulated sums. Executors that fold injected latency
+// into a replayable virtual clock must consume these exact values:
+// differencing a cumulative float total loses ulps depending on what
+// the accumulator held before, which is invisible to the eye and fatal
+// to bit-identical replay.
+type RunOp struct {
+	Ops     uint64
+	Latency float64
+}
+
+// faultOpKey identifies a logical operation for attempt counting.
+type faultOpKey struct {
+	kind uint64
+	run  string
+	seq  uint64
 }
 
 // NewFaultStore wraps inner with the given fault plan.
 func NewFaultStore(inner Store, plan FaultPlan) *FaultStore {
-	return &FaultStore{inner: inner, plan: plan}
+	return &FaultStore{
+		inner:    inner,
+		plan:     plan,
+		runLat:   make(map[string]float64),
+		runOps:   make(map[string]uint64),
+		lastLat:  make(map[string]float64),
+		attempts: make(map[faultOpKey]uint64),
+	}
 }
 
 // Stats returns a snapshot of the injection counters.
@@ -85,33 +153,70 @@ func (f *FaultStore) Stats() FaultStats {
 	return f.stats
 }
 
-// opStream returns the keyed stream for the next operation and the
-// operation's index, advancing the counter.
-func (f *FaultStore) opStream() *rng.Stream {
+// RunLatency returns the total injected virtual latency attributed to
+// one run (informational; concurrent tenants on a shared injector never
+// see each other's stalls here).
+func (f *FaultStore) RunLatency(run string) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runLat[run]
+}
+
+// LastOp returns the run's operation count and the exact injected
+// latency of its most recent operation; see RunOp for why executors
+// must read this rather than differencing RunLatency.
+func (f *FaultStore) LastOp(run string) RunOp {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return RunOp{Ops: f.runOps[run], Latency: f.lastLat[run]}
+}
+
+// Unwrap exposes the inner store for capability discovery.
+func (f *FaultStore) Unwrap() Store { return f.inner }
+
+// hashRun folds a run ID into key material for logical streams.
+func hashRun(run string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(run))
+	return h.Sum64()
+}
+
+// opStream returns the keyed stream for an operation, advancing the
+// relevant counter (lifetime index or per-operation attempt count).
+func (f *FaultStore) opStream(kind uint64, run string, seq uint64) *rng.Stream {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops++
 	f.stats.Ops++
-	return rng.New(f.plan.Seed).Keyed(f.ops)
+	f.runOps[run]++
+	f.lastLat[run] = 0
+	if !f.plan.LogicalKeys {
+		return rng.New(f.plan.Seed).Keyed(f.ops)
+	}
+	k := faultOpKey{kind: kind, run: run, seq: seq}
+	f.attempts[k]++
+	return rng.New(f.plan.Seed).Keyed(kind).Keyed(hashRun(run)).Keyed(seq).Keyed(f.attempts[k])
 }
 
-// lat draws and accumulates injected latency. Draw order within an
-// operation is fixed (latency first, then the fault decision), which is
-// part of the determinism contract.
-func (f *FaultStore) lat(s *rng.Stream) {
+// lat draws and accumulates injected latency for run. Draw order within
+// an operation is fixed (latency first, then the fault decision), which
+// is part of the determinism contract.
+func (f *FaultStore) lat(s *rng.Stream, run string) {
 	if f.plan.MeanLatency <= 0 {
 		return
 	}
 	d := s.ExpFloat64() * f.plan.MeanLatency
 	f.mu.Lock()
 	f.stats.Latency += d
+	f.runLat[run] += d
+	f.lastLat[run] = d
 	f.mu.Unlock()
 }
 
 // Save injects write faults around the inner Save.
 func (f *FaultStore) Save(run string, seq uint64, payload []byte) error {
-	s := f.opStream()
-	f.lat(s)
+	s := f.opStream(opSave, run, seq)
+	f.lat(s, run)
 	u := s.Float64()
 	switch {
 	case u < f.plan.WriteFail:
@@ -163,8 +268,8 @@ func (f *FaultStore) loseOld(run string, seq uint64, s *rng.Stream) {
 
 // Load injects read faults around the inner Load.
 func (f *FaultStore) Load(run string, seq uint64) ([]byte, error) {
-	s := f.opStream()
-	f.lat(s)
+	s := f.opStream(opLoad, run, seq)
+	f.lat(s, run)
 	if s.Float64() < f.plan.ReadFail {
 		f.count(func(st *FaultStats) { st.ReadFails++ })
 		return nil, fmt.Errorf("load %s/%d: %w", run, seq, ErrInjectedRead)
@@ -172,13 +277,23 @@ func (f *FaultStore) Load(run string, seq uint64) ([]byte, error) {
 	return f.inner.Load(run, seq)
 }
 
-// List delegates uninstrumented: enumeration is resume bookkeeping, and
-// the interesting failure modes (missing or corrupt entries) are
-// injected through Save/Load already.
-func (f *FaultStore) List(run string) ([]uint64, error) { return f.inner.List(run) }
+// List pays injected latency like every other operation (enumeration
+// round-trips to the store too); the interesting failure modes (missing
+// or corrupt entries) are injected through Save/Load already. List
+// operations key with seq 0.
+func (f *FaultStore) List(run string) ([]uint64, error) {
+	s := f.opStream(opList, run, 0)
+	f.lat(s, run)
+	return f.inner.List(run)
+}
 
-// Delete delegates uninstrumented.
-func (f *FaultStore) Delete(run string, seq uint64) error { return f.inner.Delete(run, seq) }
+// Delete pays injected latency; no faults are injected (deletion
+// failure modes are covered by LoseOld on the save path).
+func (f *FaultStore) Delete(run string, seq uint64) error {
+	s := f.opStream(opDelete, run, seq)
+	f.lat(s, run)
+	return f.inner.Delete(run, seq)
+}
 
 func (f *FaultStore) count(fn func(*FaultStats)) {
 	f.mu.Lock()

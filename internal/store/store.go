@@ -50,6 +50,67 @@ type Store interface {
 	Delete(run string, seq uint64) error
 }
 
+// Unwrapper is implemented by decorator stores that expose their inner
+// store, so capability discovery (RunLatency) can walk a composed
+// stack.
+type Unwrapper interface {
+	Unwrap() Store
+}
+
+// runLatencyReader is the capability behind RunLatency; FaultStore
+// implements it.
+type runLatencyReader interface {
+	RunLatency(run string) float64
+}
+
+// lastOpReader is the capability behind LastOp; FaultStore implements
+// it.
+type lastOpReader interface {
+	LastOp(run string) RunOp
+}
+
+// LastOp walks the decorator stack of s looking for a layer that tracks
+// per-run operations (FaultStore) and returns the run's operation count
+// and the EXACT injected latency of its most recent operation. ok is
+// false when no layer tracks operations. Replay-deterministic callers
+// must use this — comparing Ops before and after an operation tells
+// them whether the injector was reached (a quota layer may reject
+// first), and Latency is the drawn value itself, free of the
+// accumulation rounding that differencing RunLatency would pick up.
+func LastOp(s Store, run string) (op RunOp, ok bool) {
+	for s != nil {
+		if r, isReader := s.(lastOpReader); isReader {
+			return r.LastOp(run), true
+		}
+		u, isWrapper := s.(Unwrapper)
+		if !isWrapper {
+			return RunOp{}, false
+		}
+		s = u.Unwrap()
+	}
+	return RunOp{}, false
+}
+
+// RunLatency walks the decorator stack of s looking for a layer that
+// attributes injected virtual latency per run (FaultStore), and returns
+// that run's accumulated latency. ok is false when no layer in the
+// stack tracks latency — a real store whose latency is wall-clock, not
+// virtual — in which case callers should treat latency as unobservable
+// rather than zero-cost.
+func RunLatency(s Store, run string) (latency float64, ok bool) {
+	for s != nil {
+		if r, isReader := s.(runLatencyReader); isReader {
+			return r.RunLatency(run), true
+		}
+		u, isWrapper := s.(Unwrapper)
+		if !isWrapper {
+			return 0, false
+		}
+		s = u.Unwrap()
+	}
+	return 0, false
+}
+
 // Latest returns the highest sequence number persisted for run, with
 // ok=false when the run has no checkpoints.
 func Latest(s Store, run string) (seq uint64, ok bool, err error) {

@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -248,4 +249,182 @@ func TestFaultStoreLoseOldFallback(t *testing.T) {
 	if seqs[len(seqs)-1] != 8 {
 		t.Fatalf("newest checkpoint lost: %v", seqs)
 	}
+}
+
+// TestFaultStoreLatencyAllOps pins the keyed-stream contract's coverage:
+// EVERY operation — Save, Load, List and Delete — pays injected latency,
+// the per-run attribution isolates tenants, LastOp exposes each
+// operation's exact drawn value, and the whole trace is deterministic
+// across injector instances.
+func TestFaultStoreLatencyAllOps(t *testing.T) {
+	plan := store.FaultPlan{Seed: 21, MeanLatency: 2}
+	script := func() ([]float64, float64, float64, store.FaultStats) {
+		fs := store.NewFaultStore(store.NewMemStore(), plan)
+		var lats []float64
+		step := func(op func()) {
+			op()
+			lats = append(lats, fs.LastOp("a").Latency)
+		}
+		step(func() { fs.Save("a", 1, []byte("payload")) })
+		step(func() { fs.Load("a", 1) })
+		step(func() { fs.List("a") })
+		step(func() { fs.Delete("a", 1) })
+		fs.Save("b", 1, []byte("other tenant"))
+		return lats, fs.RunLatency("a"), fs.RunLatency("b"), fs.Stats()
+	}
+	lats1, a1, b1, st1 := script()
+	lats2, a2, b2, st2 := script()
+	if !reflect.DeepEqual(lats1, lats2) || a1 != a2 || b1 != b2 || st1 != st2 {
+		t.Fatalf("latency trace not deterministic: %v/%v vs %v/%v", lats1, a1, lats2, a2)
+	}
+	var sum float64
+	for i, l := range lats1 {
+		if l <= 0 {
+			t.Fatalf("operation %d paid no latency: %v", i, lats1)
+		}
+		sum += l
+	}
+	if sum != a1 {
+		t.Fatalf("RunLatency(a) = %v, sum of per-op values %v", a1, sum)
+	}
+	if b1 <= 0 {
+		t.Fatal("run b paid no latency")
+	}
+	if st1.Latency != a1+b1 {
+		t.Fatalf("Stats.Latency %v != per-run totals %v", st1.Latency, a1+b1)
+	}
+	if op := fsLastOp(t, plan); op.Ops != 0 || op.Latency != 0 {
+		t.Fatalf("fresh injector reports prior ops: %+v", op)
+	}
+}
+
+func fsLastOp(t *testing.T, plan store.FaultPlan) store.RunOp {
+	t.Helper()
+	fs := store.NewFaultStore(store.NewMemStore(), plan)
+	op, ok := store.LastOp(fs, "never-used")
+	if !ok {
+		t.Fatal("FaultStore does not expose LastOp")
+	}
+	return op
+}
+
+// TestFaultStoreLogicalKeysInvariance pins the logical keying mode: an
+// operation's injected outcome is a pure function of (kind, run, seq,
+// attempt), so it is invariant under interleaved traffic from other
+// runs and resets with a fresh injector instance — the property
+// adaptive kill/resume identity and multi-tenant drills rest on.
+func TestFaultStoreLogicalKeysInvariance(t *testing.T) {
+	plan := store.FaultPlan{Seed: 33, WriteFail: 0.4, ReadFail: 0.4, MeanLatency: 1, LogicalKeys: true}
+	payload := []byte(strings.Repeat("x", 32))
+	// Trace of (err signature, latency) for attempts 1..6 of save r/7.
+	trace := func(noise bool) []string {
+		fs := store.NewFaultStore(store.NewMemStore(), plan)
+		var out []string
+		for i := 0; i < 6; i++ {
+			if noise {
+				// Interleave unrelated traffic that sequential keying would
+				// be perturbed by.
+				fs.Save("other", uint64(i), payload)
+				fs.Load("r", 3)
+				fs.List("r")
+			}
+			err := fs.Save("r", 7, payload)
+			out = append(out, errSig(err)+fmt.Sprint(fs.LastOp("r").Latency))
+		}
+		return out
+	}
+	quiet, noisy := trace(false), trace(true)
+	if !reflect.DeepEqual(quiet, noisy) {
+		t.Fatalf("logical outcomes perturbed by interleaved traffic:\nquiet %v\nnoisy %v", quiet, noisy)
+	}
+	// A fresh instance resets attempt counters: its first save of r/7
+	// matches attempt 1, not attempt 7.
+	fresh := trace(false)
+	if fresh[0] != quiet[0] {
+		t.Fatalf("fresh injector attempt 1 differs: %v vs %v", fresh[0], quiet[0])
+	}
+	if got := len(quiet); got != 6 {
+		t.Fatalf("trace length %d", got)
+	}
+}
+
+// TestQuotaStore pins the retained-state quota semantics: replace
+// charges the delta, delete refunds, both budget axes reject with
+// ErrQuota, accounting is billing-level (inner failures cost nothing),
+// tenants group by the mapping, and the ledger survives wrapper
+// rebuilds.
+func TestQuotaStore(t *testing.T) {
+	t.Run("bytes-replace-delete", func(t *testing.T) {
+		ledger := store.NewQuotaLedger(store.Quota{MaxBytes: 10}, nil)
+		qs := store.NewQuotaStore(ledger, store.NewMemStore())
+		if err := qs.Save("r", 1, []byte("123456")); err != nil {
+			t.Fatal(err)
+		}
+		if err := qs.Save("r", 2, []byte("12345")); !errors.Is(err, store.ErrQuota) {
+			t.Fatalf("11 bytes admitted against budget 10: %v", err)
+		}
+		// Replacing seq 1 with a larger payload charges only the delta.
+		if err := qs.Save("r", 1, []byte("1234567890")); err != nil {
+			t.Fatalf("replace within budget rejected: %v", err)
+		}
+		if b, n := ledger.Used("r"); b != 10 || n != 1 {
+			t.Fatalf("Used = %d bytes, %d checkpoints; want 10, 1", b, n)
+		}
+		if err := qs.Delete("r", 1); err != nil {
+			t.Fatal(err)
+		}
+		if b, n := ledger.Used("r"); b != 0 || n != 0 {
+			t.Fatalf("delete did not refund: %d bytes, %d checkpoints", b, n)
+		}
+		if err := qs.Save("r", 2, []byte("12345")); err != nil {
+			t.Fatalf("post-refund save rejected: %v", err)
+		}
+	})
+	t.Run("checkpoint-count", func(t *testing.T) {
+		ledger := store.NewQuotaLedger(store.Quota{MaxCheckpoints: 2}, nil)
+		qs := store.NewQuotaStore(ledger, store.NewMemStore())
+		for seq := uint64(1); seq <= 2; seq++ {
+			if err := qs.Save("r", seq, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := qs.Save("r", 3, []byte("v")); !errors.Is(err, store.ErrQuota) {
+			t.Fatalf("third checkpoint admitted against budget 2: %v", err)
+		}
+		// Overwriting a retained seq is not a new checkpoint.
+		if err := qs.Save("r", 2, []byte("v2")); err != nil {
+			t.Fatalf("overwrite rejected: %v", err)
+		}
+	})
+	t.Run("billing-level", func(t *testing.T) {
+		ledger := store.NewQuotaLedger(store.Quota{MaxBytes: 100}, nil)
+		failing := store.NewFaultStore(store.NewMemStore(), store.FaultPlan{Seed: 1, WriteFail: 1})
+		qs := store.NewQuotaStore(ledger, failing)
+		if err := qs.Save("r", 1, []byte("payload")); !errors.Is(err, store.ErrInjectedWrite) {
+			t.Fatalf("err = %v", err)
+		}
+		if b, n := ledger.Used("r"); b != 0 || n != 0 {
+			t.Fatalf("failed save was billed: %d bytes, %d checkpoints", b, n)
+		}
+	})
+	t.Run("tenant-grouping-and-ledger-persistence", func(t *testing.T) {
+		tenantOf := func(run string) string { return strings.SplitN(run, "-", 2)[0] }
+		ledger := store.NewQuotaLedger(store.Quota{MaxBytes: 8}, tenantOf)
+		inner := store.NewMemStore()
+		if err := store.NewQuotaStore(ledger, inner).Save("acme-1", 1, []byte("12345")); err != nil {
+			t.Fatal(err)
+		}
+		// A rebuilt wrapper (fresh invocation) over the same ledger still
+		// sees acme's usage through a different run of the same tenant.
+		qs2 := store.NewQuotaStore(ledger, inner)
+		if err := qs2.Save("acme-2", 1, []byte("12345")); !errors.Is(err, store.ErrQuota) {
+			t.Fatalf("tenant budget not shared across runs/wrappers: %v", err)
+		}
+		if err := qs2.Save("zen-1", 1, []byte("12345")); err != nil {
+			t.Fatalf("other tenant rejected: %v", err)
+		}
+		if b, _ := ledger.Used("acme"); b != 5 {
+			t.Fatalf("Used(acme) = %d, want 5", b)
+		}
+	})
 }

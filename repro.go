@@ -45,6 +45,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Model carries the failure environment: the platform failure rate λ and
@@ -237,6 +238,69 @@ func ExecutePlan(g *Graph, m Model, checkpointAfter []bool, runs int, seed uint6
 		CI:           res.Makespan.CI(0.99),
 		MeanFailures: res.Failures.Mean(),
 		Runs:         res.Runs,
+	}, nil
+}
+
+// ResilienceReport summarizes one adaptive execution against a
+// degraded checkpoint store: the realized makespan, the virtual store
+// overhead folded into it (injected latency plus backoff delays), the
+// worst crash-rewind exposure the run ever carried, the number of
+// online replans and abandoned saves, and the final degradation-ladder
+// level ("healthy", "degraded", "failover" or "down").
+type ResilienceReport struct {
+	Makespan      float64
+	StoreOverhead float64
+	MaxRewind     float64
+	Replans       int
+	GiveUps       int
+	Level         string
+}
+
+// ExecutePlanResilient runs a chain checkpoint plan ONCE on the
+// adaptive executor against a deterministically degraded in-memory
+// store: every operation pays Exp-distributed virtual latency with the
+// given mean, saves fail with probability writeFail, and the executor
+// responds with capped exponential-backoff retries plus online suffix
+// replanning (re-solving the chain DP when effective checkpoint cost
+// drifts 25% past the plan's). It is the degraded-store counterpart of
+// ExecutePlan — the evidence behind it is experiment E19.
+func ExecutePlanResilient(g *Graph, m Model, checkpointAfter []bool, meanLatency, writeFail float64, seed uint64) (ResilienceReport, error) {
+	cp, _, err := core.NewChainProblem(g, m, 0)
+	if err != nil {
+		return ResilienceReport{}, err
+	}
+	w, err := exec.NewChainWorkload(cp, checkpointAfter)
+	if err != nil {
+		return ResilienceReport{}, err
+	}
+	meanC := 0.0
+	for _, c := range cp.Ckpt {
+		meanC += c
+	}
+	meanC /= float64(len(cp.Ckpt))
+	st := store.Checked(store.NewFaultStore(store.NewMemStore(), store.FaultPlan{
+		Seed: seed, WriteFail: writeFail, MeanLatency: meanLatency, LogicalKeys: true,
+	}))
+	res, err := exec.Execute(w,
+		exec.NewKeyedSource(failure.Exponential{Lambda: m.Lambda}, seed, 1),
+		exec.Options{
+			RunID: "resilient", Store: st, Downtime: m.Downtime,
+			Adaptive: &exec.AdaptiveOptions{
+				Retry:       exec.ExpBackoff{Base: 0.25 * meanC, Cap: meanC, MaxAttempts: 4},
+				Replanner:   exec.ChainReplanner{CP: cp},
+				ReplanRatio: 1.25,
+			},
+		})
+	if err != nil {
+		return ResilienceReport{}, err
+	}
+	return ResilienceReport{
+		Makespan:      res.Makespan,
+		StoreOverhead: res.StoreOverhead,
+		MaxRewind:     res.MaxRewind,
+		Replans:       res.Replans,
+		GiveUps:       res.GiveUps,
+		Level:         res.Level.String(),
 	}, nil
 }
 

@@ -193,6 +193,55 @@ func TestFacadeExecutePlan(t *testing.T) {
 	}
 }
 
+// TestFacadeExecutePlanResilient drives the adaptive executor through
+// the facade against a degraded store: heavy virtual latency must show
+// up as store overhead and trigger online replanning, a clean store
+// must leave the ladder at "healthy", and the same (latency, seed) pair
+// must reproduce the report exactly.
+func TestFacadeExecutePlanResilient(t *testing.T) {
+	g := buildChain(t)
+	m, err := repro.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := repro.OptimalChainPlan(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.ExecutePlanResilient(g, m, plan.CheckpointAfter, 2.0, 0.2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 || rep.StoreOverhead <= 0 {
+		t.Errorf("degenerate resilience report %+v", rep)
+	}
+	if rep.MaxRewind < 0 || rep.MaxRewind > rep.Makespan {
+		t.Errorf("rewind exposure %v outside [0, makespan=%v]", rep.MaxRewind, rep.Makespan)
+	}
+	if rep.Level == "" {
+		t.Errorf("missing ladder level in %+v", rep)
+	}
+	again, err := repro.ExecutePlanResilient(g, m, plan.CheckpointAfter, 2.0, 0.2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rep {
+		t.Errorf("same seed must reproduce the report: %+v vs %+v", again, rep)
+	}
+
+	clean, err := repro.ExecutePlanResilient(g, m, plan.CheckpointAfter, 0, 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Level != "healthy" || clean.Replans != 0 || clean.GiveUps != 0 {
+		t.Errorf("clean store should stay healthy with no interventions: %+v", clean)
+	}
+
+	if _, err := repro.ExecutePlanResilient(g, m, []bool{true}, 1, 0.1, 1); err == nil {
+		t.Error("mis-sized checkpoint vector accepted")
+	}
+}
+
 func TestFacadeDistributions(t *testing.T) {
 	if _, err := repro.Exponential(0); err == nil {
 		t.Error("invalid exponential accepted")
