@@ -49,6 +49,7 @@ import (
 	"repro/internal/expectation"
 	"repro/internal/expt"
 	"repro/internal/failure"
+	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -797,6 +798,27 @@ func measureExec() (*Report, error) {
 	// admit/commit accounting per save.
 	record("store_save/kind=quota", 4096, benchSave(store.NewQuotaStore(
 		store.NewQuotaLedger(store.Quota{}, nil), store.Checked(store.NewMemStore()))))
+	// Networked rows on top of the mem row: one simulated remote
+	// endpoint, then a 3-replica write-quorum (W=2). Latency is virtual
+	// and loss is zero — a dropped save would abort the benchmark — so
+	// the deltas read as the pure bookkeeping cost of the network layer:
+	// keyed jitter/loss draws and attempt accounting per message, plus
+	// (for the quorum) the replica fan-out and deterministic response
+	// merge.
+	netCfg := netsim.Config{Seed: 29, Latency: 0.01, Jitter: 0.005}
+	record("store_save/kind=remote", 4096, benchSave(store.Checked(store.NewRemoteStore(
+		store.NewMemStore(), netsim.New(netCfg), netCfg, store.RemoteConfig{Remote: "s0"}))))
+	qnet := netsim.New(netCfg)
+	reps := make([]store.Store, 3)
+	for i := range reps {
+		reps[i] = store.Checked(store.NewRemoteStore(store.NewMemStore(), qnet, netCfg,
+			store.RemoteConfig{Remote: fmt.Sprintf("s%d", i)}))
+	}
+	quorum, err := store.NewQuorumStore(reps, store.QuorumConfig{W: 2, R: 2})
+	if err != nil {
+		return nil, err
+	}
+	record("store_save/kind=quorum", 4096, benchSave(quorum))
 
 	// Degraded-store resilience rows. exec_adaptive/replan is one
 	// suffix re-solve of the chain DP from the mid-plan frontier — the
@@ -839,6 +861,59 @@ func measureExec() (*Report, error) {
 	}
 	record("exec_adaptive/run mode=static", 64, benchAdaptive(nil))
 	record("exec_adaptive/run mode=adaptive", 64, benchAdaptive(replanner))
+
+	// Partition-tolerance rows: one full adaptive execution through a
+	// networked store whose endpoint s0 is cut off for the middle of the
+	// run. The single-remote arm pays the ride-out (timeouts, backoff,
+	// ladder moves, probe re-admission); the quorum arm keeps committing
+	// on the two-replica majority — both at equal workload and failure
+	// exposure, so the rows price partition tolerance end to end.
+	src.Reset()
+	bare, err := exec.Execute(w, src, exec.Options{Downtime: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	partCfg := netsim.Config{Seed: 31, Latency: 0.01, Partitions: []netsim.Window{
+		{Start: 0.3 * bare.Makespan, End: 0.7 * bare.Makespan, Isolated: []string{"s0"}},
+	}}
+	benchPartition := func(quorumArm bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src.Reset()
+				net := netsim.New(partCfg)
+				var st store.Store
+				if quorumArm {
+					reps := make([]store.Store, 3)
+					for k := range reps {
+						reps[k] = store.Checked(store.NewRemoteStore(store.NewMemStore(), net, partCfg,
+							store.RemoteConfig{Remote: fmt.Sprintf("s%d", k), Timeout: 0.25}))
+					}
+					q, err := store.NewQuorumStore(reps, store.QuorumConfig{W: 2, R: 2})
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = q
+				} else {
+					st = store.Checked(store.NewRemoteStore(store.NewMemStore(), net, partCfg,
+						store.RemoteConfig{Remote: "s0", Timeout: 0.25}))
+				}
+				_, err := exec.Execute(w, src, exec.Options{
+					RunID: "bench", Store: st, Downtime: 0.5,
+					Adaptive: &exec.AdaptiveOptions{
+						Retry:      exec.ExpBackoff{Base: 0.1, Cap: 0.5, MaxAttempts: 3},
+						DownAfter:  2,
+						ProbeEvery: 2,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	record("exec_partition/store=remote", 64, benchPartition(false))
+	record("exec_partition/store=quorum", 64, benchPartition(true))
 	return report, nil
 }
 

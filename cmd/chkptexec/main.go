@@ -43,6 +43,24 @@
 // Quota accounting is per process: a resumed invocation starts with an
 // empty ledger and only counts what it retains from then on.
 //
+// Networked stores — the -net-* flags route every store operation
+// through a deterministic simulated network (keyed-stream latency,
+// jitter, loss, and scheduled -partition windows isolating endpoint
+// s0); -replicas N spreads checkpoints across N sealed remotes under a
+// write quorum (-write-quorum, majority by default), so the run rides
+// out a partition that cuts off a minority of replicas.
+// -plan-from-telemetry closes the planner-feedback loop at plan time:
+// the store stack is probed before planning and the placement re-solved
+// with the effective checkpoint cost. -trace <csv> replays a recorded
+// FTA-style failure log (see cmd/tracegen) instead of the seeded law,
+// and fails loudly if the log runs out mid-run:
+//
+//	chkptexec -workflow wf.json -dir /tmp/ckpts -net-latency 0.5 \
+//	    -net-jitter 0.2 -net-loss 0.05 -replicas 3 -partition 10:25 \
+//	    -retry-policy exp:0.5
+//	chkptexec -workflow wf.json -dir /tmp/ckpts -net-latency 2 -plan-from-telemetry
+//	chkptexec -workflow wf.json -dir /tmp/ckpts -trace trace.csv
+//
 // Chain workflows choose the checkpoint vector with -strategy
 // (dp | always | never | daly | young | every:k); general DAGs are
 // linearized in topological order and placed optimally by the per-order
@@ -58,6 +76,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -67,7 +86,9 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expectation"
 	"repro/internal/failure"
+	"repro/internal/netsim"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // config carries every flag; run is pure in it so tests drive the CLI
@@ -95,6 +116,25 @@ type config struct {
 	tenants         int
 	secondaryDir    string
 	faultLatency    float64
+
+	tracePath         string
+	planFromTelemetry bool
+
+	netLatency  float64
+	netJitter   float64
+	netLoss     float64
+	netTimeout  float64
+	netSeed     uint64
+	partition   string
+	replicas    int
+	writeQuorum int
+}
+
+// networked reports whether any network flag routes the store through
+// the simulated network.
+func (c config) networked() bool {
+	return c.netLatency > 0 || c.netJitter > 0 || c.netLoss > 0 ||
+		c.partition != "" || c.replicas > 1
 }
 
 // adaptive reports whether any resilience flag asks for the adaptive
@@ -126,6 +166,16 @@ func main() {
 	flag.IntVar(&cfg.tenants, "tenants", 1, "run this many concurrent tenants (<run-id>-t<i>) against one shared store stack (adaptive)")
 	flag.StringVar(&cfg.secondaryDir, "secondary-dir", "", "failover checkpoint store directory (adaptive)")
 	flag.Float64Var(&cfg.faultLatency, "fault-latency", 0, "mean injected store latency per operation (with -faults)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "drive failures from a recorded FTA-style CSV log instead of a seeded law (persisted run only)")
+	flag.BoolVar(&cfg.planFromTelemetry, "plan-from-telemetry", false, "probe the store before planning and re-solve the placement with the effective checkpoint cost (requires -dir)")
+	flag.Float64Var(&cfg.netLatency, "net-latency", 0, "simulated network base latency per store operation (enables the networked store)")
+	flag.Float64Var(&cfg.netJitter, "net-jitter", 0, "mean of the Exp-distributed latency jitter (networked)")
+	flag.Float64Var(&cfg.netLoss, "net-loss", 0, "message loss probability per delivery (networked)")
+	flag.Float64Var(&cfg.netTimeout, "net-timeout", 0, "per-operation remote timeout; 0 picks 8x(latency+jitter) (networked)")
+	flag.Uint64Var(&cfg.netSeed, "net-seed", 7, "network simulation seed (networked)")
+	flag.StringVar(&cfg.partition, "partition", "", "partition windows isolating store endpoint s0, e.g. 10:25 or 10:25,40:50 in virtual time (networked)")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "replicate checkpoints across this many networked stores (endpoints s0..s<n-1>, directories <dir>/r<i>)")
+	flag.IntVar(&cfg.writeQuorum, "write-quorum", 0, "write quorum W for -replicas > 1; 0 picks the majority")
 	flag.Parse()
 	if cfg.wfPath == "" {
 		flag.Usage()
@@ -151,7 +201,29 @@ func run(cfg config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w, replanner, desc, err := buildWorkload(g, m, cfg)
+	if cfg.dir == "" {
+		switch {
+		case cfg.adaptive():
+			return fmt.Errorf("resilience flags (-retry-policy, -replan-threshold, -quota, -tenants, -secondary-dir) require a persisted run: set -dir")
+		case cfg.networked():
+			return fmt.Errorf("network flags (-net-latency, -net-jitter, -net-loss, -partition, -replicas) require a persisted run: set -dir")
+		case cfg.tracePath != "":
+			return fmt.Errorf("-trace replays one recorded platform log through one run: set -dir")
+		case cfg.planFromTelemetry:
+			return fmt.Errorf("-plan-from-telemetry probes the persisted store stack: set -dir")
+		}
+	}
+	overhead := 0.0
+	if cfg.planFromTelemetry {
+		st, err := buildStore(cfg, nil)
+		if err != nil {
+			return err
+		}
+		probe := exec.ProbeStore(st, "telemetry-probe", 16, 0, 0)
+		fmt.Fprintf(out, "%s\n", probe)
+		overhead = probe.Estimate
+	}
+	w, replanner, desc, err := buildWorkload(g, m, cfg, overhead)
 	if err != nil {
 		return err
 	}
@@ -160,22 +232,53 @@ func run(cfg config, out io.Writer) error {
 		desc, w.Len(), w.Segments(), planned)
 
 	if cfg.dir == "" {
-		if cfg.adaptive() {
-			return fmt.Errorf("resilience flags (-retry-policy, -replan-threshold, -quota, -tenants, -secondary-dir) require a persisted run: set -dir")
-		}
 		return runCampaign(w, m, planned, cfg, out)
 	}
 	if cfg.tenants > 1 {
-		return runTenants(g, m, planned, replanner, cfg, out)
+		if cfg.tracePath != "" {
+			return fmt.Errorf("-trace records one platform's failures: it cannot drive %d concurrent tenants", cfg.tenants)
+		}
+		return runTenants(g, m, planned, replanner, cfg, overhead, out)
 	}
 	return runPersisted(w, m, planned, replanner, cfg, out)
+}
+
+// buildSource picks the failure source for a persisted run: the keyed
+// seeded law, or the recorded trace when -trace is set (the *TraceSource
+// return is non-nil exactly then, so the caller can check exhaustion).
+func buildSource(cfg config, m expectation.Model) (exec.Source, *exec.TraceSource, error) {
+	if cfg.tracePath == "" {
+		return exec.NewKeyedSource(failure.Exponential{Lambda: m.Lambda}, cfg.seed, 1), nil, nil
+	}
+	f, err := os.Open(cfg.tracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading trace %s: %w", cfg.tracePath, err)
+	}
+	gaps := tr.PlatformGaps()
+	if len(gaps) == 0 {
+		return nil, nil, fmt.Errorf("trace %s holds fewer than two events: no failure gaps to replay", cfg.tracePath)
+	}
+	rate := 0.0
+	if mtbf := tr.MTBF(); mtbf > 0 {
+		rate = 1 / mtbf
+	}
+	ts := exec.NewTraceSource(gaps, rate)
+	return ts, ts, nil
 }
 
 // buildWorkload compiles the workflow into an executable workload plus
 // the matching online replanner: chains via the strategy flag and the
 // suffix chain DP, general DAGs via topological linearization plus the
-// exact placement DP under the cost model flag.
-func buildWorkload(g *dag.Graph, m expectation.Model, cfg config) (*exec.Workload, exec.Replanner, string, error) {
+// exact placement DP under the cost model flag. A positive overhead is
+// the plan-time telemetry estimate: the placement is re-solved with
+// every checkpoint cost inflated by it (the whole-plan analog of the
+// executor's online suffix replanning).
+func buildWorkload(g *dag.Graph, m expectation.Model, cfg config, overhead float64) (*exec.Workload, exec.Replanner, string, error) {
 	if _, isChain := g.IsLinearChain(); isChain {
 		cp, _, err := core.NewChainProblem(g, m, 0)
 		if err != nil {
@@ -185,8 +288,18 @@ func buildWorkload(g *dag.Graph, m expectation.Model, cfg config) (*exec.Workloa
 		if err != nil {
 			return nil, nil, "", err
 		}
+		rp := exec.ChainReplanner{CP: cp}
+		desc := "chain/" + cfg.strategy
+		if overhead > 0 {
+			segs, err := rp.Replan(0, overhead)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			ck = checkpointsFromSegments(cp.Len(), segs)
+			desc = "chain/telemetry"
+		}
 		w, err := exec.NewChainWorkload(cp, ck)
-		return w, exec.ChainReplanner{CP: cp}, "chain/" + cfg.strategy, err
+		return w, rp, desc, err
 	}
 	var cm core.CostModel
 	switch cfg.costmodel {
@@ -205,8 +318,29 @@ func buildWorkload(g *dag.Graph, m expectation.Model, cfg config) (*exec.Workloa
 	if err != nil {
 		return nil, nil, "", err
 	}
-	w, err := exec.NewDAGWorkload(g, sol.Plan(), cm)
-	return w, exec.OrderReplanner{G: g, Order: order, M: m, CM: cm}, "dag/" + cm.Name(), err
+	rp := exec.OrderReplanner{G: g, Order: order, M: m, CM: cm}
+	plan := sol.Plan()
+	desc := "dag/" + cm.Name()
+	if overhead > 0 {
+		segs, err := rp.Replan(0, overhead)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		plan.CheckpointAfter = checkpointsFromSegments(len(plan.Order), segs)
+		desc = "dag/telemetry"
+	}
+	w, err := exec.NewDAGWorkload(g, plan, cm)
+	return w, rp, desc, err
+}
+
+// checkpointsFromSegments converts a replanned segment cover back into
+// the positional checkpoint vector (each segment ends at a checkpoint).
+func checkpointsFromSegments(n int, segs []core.Segment) []bool {
+	ck := make([]bool, n)
+	for _, s := range segs {
+		ck[s.End] = true
+	}
+	return ck
 }
 
 // parseRetryPolicy resolves the -retry-policy spelling.
@@ -327,32 +461,109 @@ func runCampaign(w *exec.Workload, m expectation.Model, planned float64, cfg con
 	return nil
 }
 
+// parsePartitions resolves the -partition spelling into scheduled
+// windows isolating store endpoint s0.
+func parsePartitions(spec string) ([]netsim.Window, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var wins []netsim.Window
+	for _, part := range strings.Split(spec, ",") {
+		lo, hi, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad partition window %q (want start:end)", part)
+		}
+		start, err1 := strconv.ParseFloat(lo, 64)
+		end, err2 := strconv.ParseFloat(hi, 64)
+		if err1 != nil || err2 != nil || start < 0 || end <= start {
+			return nil, fmt.Errorf("bad partition window %q (want 0 <= start < end)", part)
+		}
+		wins = append(wins, netsim.Window{Start: start, End: end, Isolated: []string{"s0"}})
+	}
+	return wins, nil
+}
+
 // buildStore assembles the persisted store stack: file store, optional
 // fault injector, codec sealing, optional quota layer. The quota ledger
 // is passed in so concurrent tenants share one accounting.
+//
+// Network flags route every replica through one simulated network
+// (endpoint s<i>, directory <dir>/r<i> when replicated), with the codec
+// seal OUTSIDE the remote hop so torn and lost messages are detected,
+// not decoded; -replicas > 1 composes the sealed remotes under a write
+// quorum. The quota layer stays outermost — it meters what the tenant
+// retains, however it is replicated.
 func buildStore(cfg config, ledger *store.QuotaLedger) (store.Store, error) {
-	fs, err := store.NewFileStore(cfg.dir)
-	if err != nil {
-		return nil, err
-	}
-	var st store.Store = fs
-	if cfg.faults {
-		plan := store.FaultPlan{
-			Seed: cfg.faultSeed, WriteFail: 0.1, TornWrite: 0.1, LoseOld: 0.2, ReadFail: 0.1,
-			MeanLatency: cfg.faultLatency,
-			// The adaptive executor's replay identity requires fault
-			// outcomes to be a pure function of the logical operation,
-			// not of the injector's lifetime op index.
-			LogicalKeys: cfg.adaptive(),
+	inner := func(dir string, salt uint64) (store.Store, error) {
+		fs, err := store.NewFileStore(dir)
+		if err != nil {
+			return nil, err
 		}
-		if ledger != nil {
-			// Silent old-checkpoint loss would desync the quota
-			// ledger's retained accounting from the store.
-			plan.LoseOld = 0
+		var st store.Store = fs
+		if cfg.faults {
+			plan := store.FaultPlan{
+				Seed: cfg.faultSeed + salt, WriteFail: 0.1, TornWrite: 0.1, LoseOld: 0.2, ReadFail: 0.1,
+				MeanLatency: cfg.faultLatency,
+				// The adaptive executor's replay identity requires fault
+				// outcomes to be a pure function of the logical operation,
+				// not of the injector's lifetime op index.
+				LogicalKeys: cfg.adaptive() || cfg.networked(),
+			}
+			if ledger != nil {
+				// Silent old-checkpoint loss would desync the quota
+				// ledger's retained accounting from the store.
+				plan.LoseOld = 0
+			}
+			st = store.NewFaultStore(st, plan)
 		}
-		st = store.NewFaultStore(st, plan)
+		return st, nil
 	}
-	st = store.Checked(st)
+
+	var st store.Store
+	if !cfg.networked() {
+		s, err := inner(cfg.dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		st = store.Checked(s)
+	} else {
+		wins, err := parsePartitions(cfg.partition)
+		if err != nil {
+			return nil, err
+		}
+		netCfg := netsim.Config{
+			Seed: cfg.netSeed, Latency: cfg.netLatency, Jitter: cfg.netJitter,
+			Loss: cfg.netLoss, Partitions: wins,
+		}
+		net := netsim.New(netCfg)
+		n := cfg.replicas
+		if n < 1 {
+			n = 1
+		}
+		reps := make([]store.Store, n)
+		for i := range reps {
+			dir := cfg.dir
+			if n > 1 {
+				dir = filepath.Join(cfg.dir, fmt.Sprintf("r%d", i))
+			}
+			s, err := inner(dir, uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			reps[i] = store.Checked(store.NewRemoteStore(s, net, netCfg, store.RemoteConfig{
+				Remote: fmt.Sprintf("s%d", i), Timeout: cfg.netTimeout,
+			}))
+		}
+		if n > 1 {
+			q, err := store.NewQuorumStore(reps, store.QuorumConfig{W: cfg.writeQuorum})
+			if err != nil {
+				return nil, err
+			}
+			st = q
+		} else {
+			st = reps[0]
+		}
+	}
 	if ledger != nil {
 		st = store.NewQuotaStore(ledger, st)
 	}
@@ -438,12 +649,21 @@ func runPersisted(w *exec.Workload, m expectation.Model, planned float64, replan
 	if err != nil {
 		return err
 	}
-	src := exec.NewKeyedSource(failure.Exponential{Lambda: m.Lambda}, cfg.seed, 1)
+	src, ts, err := buildSource(cfg, m)
+	if err != nil {
+		return err
+	}
 	res, err := exec.Execute(w, src, exec.Options{
 		RunID: cfg.runID, Store: st, Downtime: m.Downtime,
 		SaveRetries: cfg.retries, CrashAfterEvents: cfg.crashEvents, CrashAfterSaves: cfg.crashSaves,
 		Adaptive: ao,
 	})
+	if ts != nil && ts.Exhausted() {
+		// The recorded log ran out of failure gaps mid-run: everything
+		// past the last recorded event executed failure-free, which the
+		// trace cannot justify. Refuse to pass that off as a replay.
+		return fmt.Errorf("trace %s exhausted mid-run: the execution outlived the recorded log — provide a longer trace or lower the workload", cfg.tracePath)
+	}
 	if rerr := reportResult(out, "", cfg, planned, res, err); rerr != nil || err != nil {
 		return rerr
 	}
@@ -457,7 +677,7 @@ func runPersisted(w *exec.Workload, m expectation.Model, planned float64, replan
 // tenant, against one shared store stack (and one shared quota ledger).
 // Crash flags apply to tenant 0 only; every tenant resumes its own run
 // on the next invocation.
-func runTenants(g *dag.Graph, m expectation.Model, planned float64, replanner exec.Replanner, cfg config, out io.Writer) error {
+func runTenants(g *dag.Graph, m expectation.Model, planned float64, replanner exec.Replanner, cfg config, overhead float64, out io.Writer) error {
 	ledger, err := quotaLedger(cfg)
 	if err != nil {
 		return err
@@ -480,7 +700,7 @@ func runTenants(g *dag.Graph, m expectation.Model, planned float64, replanner ex
 			defer wg.Done()
 			// Each tenant needs its own workload: the executor replans
 			// against executor-local segment state.
-			w, _, _, err := buildWorkload(g, m, cfg)
+			w, _, _, err := buildWorkload(g, m, cfg, overhead)
 			if err != nil {
 				errs[i] = err
 				return

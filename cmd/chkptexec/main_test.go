@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/failure"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // writeWorkflow materializes a graph as a workflow JSON file in dir.
@@ -108,6 +112,8 @@ func TestCampaignDAG(t *testing.T) {
 }
 
 var journalLine = regexp.MustCompile(`journal: (\d+) events, hash ([0-9a-f]{16})`)
+
+var planLine = regexp.MustCompile(`plan: \S+ — \d+ tasks, (\d+) segments`)
 
 // TestPersistedCrashResume is the CLI-level crash drill: kill a
 // persisted run at an injected point, re-invoke to resume, and check
@@ -331,5 +337,229 @@ func TestMissingWorkflow(t *testing.T) {
 	cfg := baseConfig(filepath.Join(t.TempDir(), "nope.json"))
 	if err := run(cfg, &bytes.Buffer{}); err == nil {
 		t.Error("missing workflow file accepted")
+	}
+}
+
+// writeTrace materializes a synthetic failure trace as a CSV file.
+func writeTrace(t *testing.T, dir string, mtbf, horizon float64, nodes int) string {
+	t.Helper()
+	dist, err := failure.NewExponential(1 / mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(dist, nodes, horizon, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceDrivenRun replays a recorded failure log through a persisted
+// run: two fresh stores driven by the same trace produce identical
+// journals, and a trace too short for the workload fails loudly instead
+// of fabricating a failure-free tail.
+func TestTraceDrivenRun(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	long := writeTrace(t, base, 20, 100000, 4)
+
+	hashes := make([]string, 2)
+	for i := range hashes {
+		cfg := baseConfig(wf)
+		cfg.dir = filepath.Join(base, fmt.Sprintf("trace%d", i))
+		cfg.tracePath = long
+		var out bytes.Buffer
+		if err := run(cfg, &out); err != nil {
+			t.Fatal(err)
+		}
+		m := journalLine.FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("no journal line:\n%s", out.String())
+		}
+		hashes[i] = m[2]
+	}
+	if hashes[0] != hashes[1] {
+		t.Errorf("same trace, different journals: %s vs %s", hashes[0], hashes[1])
+	}
+
+	short := writeTrace(t, base, 2, 9, 1)
+	cfg := baseConfig(wf)
+	cfg.dir = filepath.Join(base, "short")
+	cfg.tracePath = short
+	err := run(cfg, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "exhausted mid-run") {
+		t.Errorf("exhausted trace not reported loudly: %v", err)
+	}
+}
+
+// TestTraceFlagValidation pins the modes a trace cannot drive.
+func TestTraceFlagValidation(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 8)
+	tracePath := writeTrace(t, base, 20, 10000, 2)
+
+	campaign := baseConfig(wf)
+	campaign.tracePath = tracePath
+	if err := run(campaign, &bytes.Buffer{}); err == nil {
+		t.Error("-trace without -dir accepted")
+	}
+
+	tenants := baseConfig(wf)
+	tenants.dir = filepath.Join(base, "d")
+	tenants.tracePath = tracePath
+	tenants.tenants = 3
+	if err := run(tenants, &bytes.Buffer{}); err == nil {
+		t.Error("-trace with -tenants accepted")
+	}
+
+	missing := baseConfig(wf)
+	missing.dir = filepath.Join(base, "d2")
+	missing.tracePath = filepath.Join(base, "nope.csv")
+	if err := run(missing, &bytes.Buffer{}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+// TestNetworkedFlagsRequireDir pins that network and telemetry flags
+// demand a persisted run.
+func TestNetworkedFlagsRequireDir(t *testing.T) {
+	wf := chainWorkflow(t, t.TempDir(), 8)
+	net := baseConfig(wf)
+	net.netLatency = 0.1
+	if err := run(net, &bytes.Buffer{}); err == nil {
+		t.Error("network flags without -dir accepted")
+	}
+	tel := baseConfig(wf)
+	tel.planFromTelemetry = true
+	if err := run(tel, &bytes.Buffer{}); err == nil {
+		t.Error("-plan-from-telemetry without -dir accepted")
+	}
+}
+
+// TestParsePartitions covers the window grammar.
+func TestParsePartitions(t *testing.T) {
+	wins, err := parsePartitions("10:25,40:50.5")
+	if err != nil || len(wins) != 2 || wins[1].End != 50.5 || wins[0].Isolated[0] != "s0" {
+		t.Errorf("parsePartitions: %+v, %v", wins, err)
+	}
+	if wins, err := parsePartitions(""); err != nil || wins != nil {
+		t.Errorf("empty spec: %+v, %v", wins, err)
+	}
+	for _, bad := range []string{"10", "10:5", "x:5", "10:y", "-1:5"} {
+		if _, err := parsePartitions(bad); err == nil {
+			t.Errorf("parsePartitions(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNetworkedQuorumPartitionResume is the CLI face of the tentpole:
+// a quorum of three networked replicas rides out a partition window
+// isolating replica s0, and a run killed during the window resumes to
+// the reference journal bit-for-bit.
+func TestNetworkedQuorumPartitionResume(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	netCfg := func(dir string) config {
+		cfg := baseConfig(wf)
+		cfg.dir = dir
+		cfg.netLatency = 0.05
+		cfg.netJitter = 0.1
+		cfg.netLoss = 0.02
+		cfg.netSeed = 9
+		cfg.replicas = 3
+		cfg.partition = "2:40"
+		cfg.retryPolicy = "exp:0.5"
+		return cfg
+	}
+
+	var refOut bytes.Buffer
+	if err := run(netCfg(filepath.Join(base, "ref")), &refOut); err != nil {
+		t.Fatal(err)
+	}
+	refM := journalLine.FindStringSubmatch(refOut.String())
+	if refM == nil {
+		t.Fatalf("no journal line in reference output:\n%s", refOut.String())
+	}
+
+	crashed := netCfg(filepath.Join(base, "crash"))
+	crashed.crashEvents = 12
+	var crashOut bytes.Buffer
+	if err := run(crashed, &crashOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(crashOut.String(), "crashed as requested") {
+		t.Fatalf("crash flag did not crash:\n%s", crashOut.String())
+	}
+	resumed := netCfg(filepath.Join(base, "crash"))
+	var resOut bytes.Buffer
+	if err := run(resumed, &resOut); err != nil {
+		t.Fatal(err)
+	}
+	resM := journalLine.FindStringSubmatch(resOut.String())
+	if resM == nil {
+		t.Fatalf("no journal line in resumed output:\n%s", resOut.String())
+	}
+	if resM[1] != refM[1] || resM[2] != refM[2] {
+		t.Errorf("resumed journal %s/%s differs from reference %s/%s",
+			resM[1], resM[2], refM[1], refM[2])
+	}
+
+	// The replicas hold real per-replica directories.
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(filepath.Join(base, "ref", fmt.Sprintf("r%d", i))); err != nil {
+			t.Errorf("replica directory r%d missing: %v", i, err)
+		}
+	}
+}
+
+// TestPlanFromTelemetry pins the plan-time feedback loop: probing a
+// slow networked store re-solves the placement with the effective
+// checkpoint cost, yielding a sparser plan than the naive one.
+func TestPlanFromTelemetry(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+
+	naive := baseConfig(wf)
+	naive.dir = filepath.Join(base, "naive")
+	var naiveOut bytes.Buffer
+	if err := run(naive, &naiveOut); err != nil {
+		t.Fatal(err)
+	}
+	naiveM := planLine.FindStringSubmatch(naiveOut.String())
+	if naiveM == nil {
+		t.Fatalf("no plan line:\n%s", naiveOut.String())
+	}
+
+	tel := baseConfig(wf)
+	tel.dir = filepath.Join(base, "tel")
+	tel.netLatency = 3
+	tel.planFromTelemetry = true
+	var telOut bytes.Buffer
+	if err := run(tel, &telOut); err != nil {
+		t.Fatal(err)
+	}
+	s := telOut.String()
+	if !strings.Contains(s, "probe: 16 samples") {
+		t.Errorf("probe summary missing:\n%s", s)
+	}
+	telM := planLine.FindStringSubmatch(s)
+	if telM == nil || !strings.Contains(s, "chain/telemetry") {
+		t.Fatalf("telemetry plan line missing:\n%s", s)
+	}
+	naiveSegs, _ := strconv.Atoi(naiveM[1])
+	telSegs, _ := strconv.Atoi(telM[1])
+	if telSegs >= naiveSegs {
+		t.Errorf("telemetry plan has %d segments, naive %d — a slow store should sparsify", telSegs, naiveSegs)
 	}
 }

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	tracegen -law weibull -shape 0.7 -mtbf 100 -nodes 64 -horizon 100000 > trace.csv
+//	tracegen -law exponential -mtbf 50 -nodes 8 -out trace.csv
 //	tracegen -fit trace.csv
+//
+// The emitted logs feed chkptexec's trace-driven executions
+// (chkptexec -trace trace.csv -dir ...), which replay the platform's
+// recorded inter-failure gaps through the crash-safe runtime.
 package main
 
 import (
@@ -29,15 +34,16 @@ func main() {
 		horizon = flag.Float64("horizon", 100000, "trace horizon (time units)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		fit     = flag.String("fit", "", "fit laws to an existing trace file instead of generating")
+		out     = flag.String("out", "", "write the generated trace to this file instead of stdout")
 	)
 	flag.Parse()
-	if err := run(*law, *mtbf, *shape, *nodes, *horizon, *seed, *fit); err != nil {
+	if err := run(*law, *mtbf, *shape, *nodes, *horizon, *seed, *fit, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(law string, mtbf, shape float64, nodes int, horizon float64, seed uint64, fit string) error {
+func run(law string, mtbf, shape float64, nodes int, horizon float64, seed uint64, fit, out string) error {
 	if fit != "" {
 		f, err := os.Open(fit)
 		if err != nil {
@@ -85,5 +91,16 @@ func run(law string, mtbf, shape float64, nodes int, horizon float64, seed uint6
 	if err != nil {
 		return err
 	}
-	return tr.WriteCSV(os.Stdout)
+	if out == "" {
+		return tr.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

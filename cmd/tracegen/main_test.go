@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestGenerateAllLaws(t *testing.T) {
@@ -17,7 +19,7 @@ func TestGenerateAllLaws(t *testing.T) {
 				t.Fatal(err)
 			}
 			os.Stdout = tmp
-			err = run(law, 50, 0.7, 4, 5000, 1, "")
+			err = run(law, 50, 0.7, 4, 5000, 1, "", "")
 			os.Stdout = old
 			if err != nil {
 				t.Fatalf("generate %s: %v", law, err)
@@ -43,22 +45,46 @@ func TestFitRoundTrip(t *testing.T) {
 	}
 	old := os.Stdout
 	os.Stdout = tmp
-	err = run("weibull", 50, 0.7, 8, 50000, 2, "")
+	err = run("weibull", 50, 0.7, 8, 50000, 2, "", "")
 	os.Stdout = old
 	tmp.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, 0, 0, 0, 0, path); err != nil {
+	if err := run("", 0, 0, 0, 0, 0, path, ""); err != nil {
 		t.Fatalf("fit: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("cauchy", 50, 0.7, 4, 1000, 1, ""); err == nil {
+	if err := run("cauchy", 50, 0.7, 4, 1000, 1, "", ""); err == nil {
 		t.Error("unknown law should fail")
 	}
-	if err := run("", 0, 0, 0, 0, 0, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+	if err := run("", 0, 0, 0, 0, 0, filepath.Join(t.TempDir(), "missing.csv"), ""); err == nil {
 		t.Error("missing fit file should fail")
+	}
+}
+
+// TestGenerateToFile covers -out: the trace lands in the named file and
+// reads back through the trace parser.
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run("exponential", 50, 0.7, 4, 5000, 3, "", path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 4 || len(tr.Events) == 0 {
+		t.Errorf("trace = %d nodes, %d events, want 4 nodes and some events", tr.Nodes, len(tr.Events))
+	}
+	if err := run("exponential", 50, 0.7, 4, 5000, 3, "", filepath.Join(t.TempDir(), "no", "such", "dir", "t.csv")); err == nil {
+		t.Error("uncreatable -out path accepted")
 	}
 }

@@ -70,6 +70,14 @@ type AdaptiveOptions struct {
 	// store in the ladder) after which persistence is switched off
 	// (default 4). A permanent error goes down immediately.
 	DownAfter int
+	// ProbeEvery, when positive, makes persistence-off survivable: at
+	// LevelDown, every ProbeEvery-th commit attempts its save anyway
+	// (the probe IS the save — no separate traffic). A successful
+	// probe re-admits the active store at LevelDegraded, which is how
+	// a minority-side executor rides out a partition window and
+	// resumes committing once the network heals. Zero keeps the
+	// legacy one-way ladder: down stays down for the rest of the run.
+	ProbeEvery int
 }
 
 func (a *AdaptiveOptions) retry() RetryPolicy {
@@ -130,7 +138,13 @@ func (ex *executor) adaptiveSave(seq uint64, payload []byte) (saveOutcome, error
 	pol := ex.ad.retry()
 	run := ex.opts.runID()
 	var out saveOutcome
+	defer func() { ex.pending = 0 }()
 	for attempt := 1; ; attempt++ {
+		// Expose the overhead accrued so far through the bound clock:
+		// this attempt's network delivery happens at t + overhead, so
+		// backing off long enough walks the commit past a partition
+		// window's end.
+		ex.pending = out.overhead
 		before, _ := store.LastOp(ex.store, run)
 		err := ex.store.Save(run, seq, payload)
 		after, ok := store.LastOp(ex.store, run)
@@ -205,11 +219,26 @@ func (ex *executor) adaptiveCommit(s int) error {
 // the restored payload to re-observe the same outcomes.
 func (ex *executor) persist(seq uint64, payload []byte) error {
 	if ex.level == LevelDown {
-		if err := ex.event(Event{Kind: EvSaveResult, Time: ex.t, Arg: encodeSaveArg(0, saveCodeSkipped), Seq: 0}); err != nil {
-			return err
+		// Ride-out probing: at LevelDown every ProbeEvery-th commit
+		// attempts its save anyway; the others skip as before. The
+		// counter round-trips through the checkpoint (it is captured
+		// pre-mutation and re-applied by the resume re-save), so the
+		// probe cadence replays bit-identically.
+		probe := false
+		if ex.ad.ProbeEvery > 0 {
+			ex.sinceDown++
+			if ex.sinceDown >= ex.ad.ProbeEvery {
+				ex.sinceDown = 0
+				probe = true
+			}
 		}
-		ex.noteExposure()
-		return nil
+		if !probe {
+			if err := ex.event(Event{Kind: EvSaveResult, Time: ex.t, Arg: encodeSaveArg(0, saveCodeSkipped), Seq: 0}); err != nil {
+				return err
+			}
+			ex.noteExposure()
+			return nil
+		}
 	}
 	out, fatal := ex.adaptiveSave(seq, payload)
 	if fatal != nil {
@@ -225,6 +254,16 @@ func (ex *executor) persist(seq uint64, payload []byte) error {
 	if out.ok {
 		ex.lastPersistT = ex.t
 		ex.consec = 0
+		if ex.level == LevelDown {
+			// A successful ride-out probe re-admits the active store:
+			// the window healed. Re-entry is to LevelDegraded, not
+			// LevelHealthy — the store just spent a window down and
+			// has yet to re-earn trust through the health EWMA.
+			ex.level = LevelDegraded
+			if err := ex.event(Event{Kind: EvDegrade, Time: ex.t, Arg: int32(ex.level)}); err != nil {
+				return err
+			}
+		}
 		ex.saves++
 		if n := ex.opts.CrashAfterSaves; n > 0 && ex.saves >= n {
 			return fmt.Errorf("exec: crash after %d checkpoint saves (t=%v): %w", ex.saves, ex.t, ErrCrashed)
@@ -369,12 +408,27 @@ func (ex *executor) restoreAdaptive(st *execState) error {
 	ex.level = DegradeLevel(st.level)
 	ex.consec = int(st.consec)
 	ex.giveups = int(st.giveups)
+	ex.sinceDown = int(st.sinceDown)
 	ex.replans = int(st.replans)
 	ex.lastOverhead = st.lastOverhead
 	ex.lastReplanAt = int64(st.lastReplanAt1) - 1
 	ex.lastPersistT = st.lastPersistT
 	ex.maxRewind = st.maxRewind
-	if ex.level >= LevelFailover {
+	// A restored LevelFailover means saves were going to the secondary.
+	// LevelDown alone does not: a ride-out probe can persist a
+	// down-level state through the PRIMARY when no failover ever
+	// happened — the journal prefix is the arbiter (it records every
+	// ladder move up to the encode point).
+	failedOver := ex.level == LevelFailover
+	if !failedOver && ex.level == LevelDown {
+		for _, e := range st.journal {
+			if e.Kind == EvDegrade && DegradeLevel(e.Arg) == LevelFailover {
+				failedOver = true
+				break
+			}
+		}
+	}
+	if failedOver {
 		if ex.ad.Secondary == nil {
 			return fmt.Errorf("exec: checkpoint was saved after failover but no secondary store is configured")
 		}
@@ -419,6 +473,7 @@ func (ex *executor) snapshot(seq, nextSeg uint64) *execState {
 		level:          uint64(ex.level),
 		consec:         uint64(ex.consec),
 		giveups:        uint64(ex.giveups),
+		sinceDown:      uint64(ex.sinceDown),
 		replans:        uint64(ex.replans),
 		lastOverhead:   ex.lastOverhead,
 		lastReplanAt1:  uint64(ex.lastReplanAt + 1),

@@ -89,6 +89,11 @@ type Result struct {
 	GiveUps   int
 	Level     DegradeLevel
 	MaxRewind float64
+	// OverheadEstimate is the store-health EWMA estimate of
+	// per-checkpoint overhead at run end (adaptive mode) — the
+	// realized-telemetry figure a planner can feed back into a
+	// latency-aware re-solve (see ProbeStore and ChainReplanner).
+	OverheadEstimate float64
 }
 
 // Options tunes an execution.
@@ -166,12 +171,22 @@ type executor struct {
 	level        DegradeLevel
 	consec       int // consecutive commit give-ups on the active store
 	giveups      int // lifetime commit give-ups
+	sinceDown    int // commits skipped since the last ride-out probe
 	replans      int // replans applied (including replayed ones)
 	lastOverhead float64
 	lastReplanAt int64 // commit index of the last replan; −1 = never
 	lastPersistT float64
 	maxRewind    float64
 	baseCost     float64
+
+	// pending is the in-flight store overhead of the current save loop
+	// (accrued latency + backoffs not yet folded into t). The virtual
+	// clock bound to time-dependent store layers reads t + pending, so
+	// retries and backoff advance delivery time mid-commit — an
+	// execution backing off across a partition window's end observes
+	// the heal. Always zero at state-encode time, so it never needs to
+	// round-trip through the checkpoint.
+	pending float64
 }
 
 // Execute runs the workload against src. With a store configured it
@@ -209,6 +224,17 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 		ex.health = newStoreHealth(opts.Adaptive.Alpha, opts.Adaptive.Window)
 		ex.lastReplanAt = -1
 		ex.baseCost = ex.resolveBaseCost()
+	}
+	if opts.Store != nil {
+		// Bind the run's virtual clock into every time-dependent store
+		// layer (RemoteStore partition evaluation). The closure reads
+		// the live executor clock plus any in-flight save overhead, so
+		// delivery times track the commit's own retries.
+		clock := func() float64 { return ex.t + ex.pending }
+		store.BindClock(opts.Store, opts.runID(), clock)
+		if opts.Adaptive != nil && opts.Adaptive.Secondary != nil {
+			store.BindClock(opts.Adaptive.Secondary, opts.runID(), clock)
+		}
 	}
 	res := &Result{}
 	startSeg := 0
@@ -265,6 +291,9 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 	res.GiveUps = ex.giveups
 	res.Level = ex.level
 	res.MaxRewind = ex.maxRewind
+	if ex.ad != nil {
+		res.OverheadEstimate = ex.health.OverheadEstimate()
+	}
 	return res, err
 }
 
@@ -413,18 +442,33 @@ type resumeCandidate struct {
 	secondary bool
 }
 
+// listOnce lists a run's checkpoints, riding out transient network
+// loss: a lost list message surfaces as a timeout, and a retry is an
+// independent draw (the network keys outcomes by attempt), so a small
+// retry budget keeps a seeded message drop from killing a resume. A
+// partition times out every attempt deterministically and still fails
+// loudly after the budget. Like loads, list retries serve no backoff:
+// resume happens outside the modeled timeline.
+func (ex *executor) listOnce(st store.Store) ([]uint64, error) {
+	seqs, err := st.List(ex.opts.runID())
+	for extra := 0; errors.Is(err, store.ErrTimeout) && extra < 4; extra++ {
+		seqs, err = st.List(ex.opts.runID())
+	}
+	return seqs, err
+}
+
 // listResume merges the primary's checkpoint listing with the
 // secondary's (adaptive mode with a failover store), newest first,
 // preferring the secondary on equal sequence numbers — the secondary
 // only ever holds post-failover saves, which are the later writes.
 func (ex *executor) listResume() ([]resumeCandidate, error) {
-	seqs, err := ex.opts.Store.List(ex.opts.runID())
+	seqs, err := ex.listOnce(ex.opts.Store)
 	if err != nil {
 		return nil, fmt.Errorf("exec: listing checkpoints: %w", err)
 	}
 	var sec []uint64
 	if ex.ad != nil && ex.ad.Secondary != nil {
-		if sec, err = ex.ad.Secondary.List(ex.opts.runID()); err != nil {
+		if sec, err = ex.listOnce(ex.ad.Secondary); err != nil {
 			return nil, fmt.Errorf("exec: listing secondary checkpoints: %w", err)
 		}
 	}
@@ -499,8 +543,13 @@ func (ex *executor) loadResume() (*execState, []byte, error) {
 			from = ex.ad.Secondary
 		}
 		data, err := ex.loadOnce(from, c.seq)
-		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrInjected) {
-			continue // fall back to an older checkpoint
+		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrNotFound) ||
+			errors.Is(err, store.ErrInjected) || errors.Is(err, store.ErrTimeout) {
+			// Fall back to an older checkpoint. Timeouts included: a
+			// partition active at resume time makes the newest entry
+			// unreachable, not the run unresumable — replaying more is
+			// always safe.
+			continue
 		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("exec: loading checkpoint %d: %w", c.seq, err)
@@ -548,16 +597,18 @@ type execState struct {
 	lastReplanAt1  uint64 // commit index of last replan + 1; 0 = never
 	lastPersistT   float64
 	maxRewind      float64
+	sinceDown      uint64
 }
 
 // stateSchema versions the checkpoint payload (inside the store codec's
 // frame, which versions the framing itself). Schema 2 appended the
 // adaptive block to schema 1's twelve slots, reusing slot 11 (reserved)
-// for StoreOverhead.
-const stateSchema = 2
+// for StoreOverhead; schema 3 appended the ride-out probe counter
+// (sinceDown).
+const stateSchema = 3
 
 // stateHeaderSize is the fixed part of the payload before the journal.
-const stateHeaderSize = 4 + 8*27
+const stateHeaderSize = 4 + 8*28
 
 // encodeState serializes the checkpoint payload.
 func encodeState(st *execState) []byte {
@@ -591,6 +642,7 @@ func encodeState(st *execState) []byte {
 		st.lastReplanAt1,
 		math.Float64bits(st.lastPersistT),
 		math.Float64bits(st.maxRewind),
+		st.sinceDown,
 	}
 	for i, v := range fields {
 		putU64(out[4+8*i:], v)
@@ -643,6 +695,7 @@ func decodeState(data []byte) (*execState, error) {
 		lastReplanAt1:  f(24),
 		lastPersistT:   math.Float64frombits(f(25)),
 		maxRewind:      math.Float64frombits(f(26)),
+		sinceDown:      f(27),
 	}
 	j, err := UnmarshalJournal(data[stateHeaderSize:])
 	if err != nil {

@@ -6,9 +6,11 @@ import (
 )
 
 // DegradeLevel is the executor's position on the degradation ladder.
-// Levels only move down within a run (replanning adapts costs at any
-// level, but a store that forced a failover or went effectively down is
-// not trusted again until a fresh run).
+// Levels move down within a run; the single path back up is the
+// ride-out probe (AdaptiveOptions.ProbeEvery): a store that went
+// effectively down can be re-admitted at LevelDegraded when a probe
+// save succeeds — partitions heal — but never re-earns LevelHealthy or
+// an undone failover within the run.
 type DegradeLevel uint8
 
 const (

@@ -52,7 +52,8 @@ const (
 	// overhead was served.
 	EvSaveResult
 	// EvDegrade records a post-save degradation-ladder move (failover to
-	// the secondary store, or persistence-off): Arg is the new level.
+	// the secondary store, persistence-off, or re-admission of a down
+	// store by a successful ride-out probe): Arg is the new level.
 	EvDegrade
 )
 

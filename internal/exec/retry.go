@@ -46,6 +46,12 @@ func ClassifyStoreError(err error) ErrorClass {
 	switch {
 	case errors.Is(err, ErrFingerprint) || errors.Is(err, errState):
 		return ClassFatal
+	case errors.Is(err, store.ErrTimeout):
+		// A remote operation that missed its deadline — lost message,
+		// partition window, or a slow link. Partitions heal: retry, back
+		// off, ride the window out on the degradation ladder. A quorum
+		// error whose representative cause is a timeout lands here too.
+		return ClassTransient
 	case errors.Is(err, store.ErrQuota),
 		errors.Is(err, store.ErrCorrupt),
 		errors.Is(err, store.ErrNotFound):

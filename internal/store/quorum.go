@@ -1,0 +1,488 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrQuorum reports an operation that could not assemble its quorum:
+// too few replicas responded before their deadlines. It always wraps a
+// representative replica error so classification still works — a
+// transient one when retrying could plausibly assemble the quorum, the
+// permanent failure otherwise.
+var ErrQuorum = errors.New("store: quorum not reached")
+
+// QuorumConfig parameterizes a QuorumStore over N replicas.
+type QuorumConfig struct {
+	// W is the write quorum: a Save (or Delete) succeeds once W
+	// replicas acknowledge. Zero defaults to the majority N/2+1.
+	W int
+	// R is the read quorum: a Load (or List) succeeds once R replicas
+	// respond. Zero defaults to the majority N/2+1. Choose W+R > N so
+	// every read quorum intersects every write quorum.
+	R int
+	// Hedge, when positive, is the virtual-time delay after which a
+	// read that has not yet assembled R responses from its first wave
+	// proactively contacts the spare replicas, instead of waiting for
+	// the stragglers' timeouts. Zero hedges only after the first wave's
+	// slowest terminal event.
+	Hedge float64
+}
+
+// QuorumStats counts quorum-level activity.
+type QuorumStats struct {
+	// Repairs counts stale or corrupt replicas overwritten with a good
+	// payload on the read path.
+	Repairs uint64
+	// Hedged counts reads that contacted spare replicas beyond the
+	// first wave.
+	Hedged uint64
+	// QuorumFailures counts operations that could not assemble their
+	// quorum.
+	QuorumFailures uint64
+}
+
+// QuorumStore replicates checkpoints across N replica stores with
+// write-quorum W and read-quorum R semantics, hedged reads, and
+// deterministic read repair. Replicas are contacted in ascending index
+// order and all bookkeeping (response ordering, repair order, merge
+// order) ties on replica index, so every outcome is deterministic for
+// any replica count and any number of concurrently executing runs.
+//
+// Latency model: replicas respond "in parallel" in virtual time. The
+// operation's charged latency is the quorum-assembly time — the W-th
+// (or R-th) smallest response time — not the sum of replica latencies;
+// stragglers beyond the quorum and read repair run off the critical
+// path. A failed operation charges the slowest terminal event among
+// everything it waited on.
+//
+// Compose each replica as Checked(NewRemoteStore(...)) so torn frames
+// below the network surface as ErrCorrupt negative responses the
+// quorum can out-vote and repair — detected, not decoded. QuorumStore
+// is itself a latency-tracking layer (LastOp/RunLatency) and forwards
+// clock bindings to every replica.
+type QuorumStore struct {
+	replicas []Store
+	w, r     int
+	hedge    float64
+
+	// bookkeeping shares the FaultStore/RemoteStore mutex-and-maps
+	// idiom; one executor drives a run, but runs share the store.
+	mu      sync.Mutex
+	clocks  map[string]func() float64
+	runOps  map[string]uint64
+	runLat  map[string]float64
+	lastLat map[string]float64
+	stats   QuorumStats
+}
+
+// NewQuorumStore builds a quorum store over the given replicas. W and
+// R default to the majority when zero; both are clamped no higher than
+// the replica count.
+func NewQuorumStore(replicas []Store, cfg QuorumConfig) (*QuorumStore, error) {
+	n := len(replicas)
+	if n == 0 {
+		return nil, fmt.Errorf("store: quorum needs at least one replica")
+	}
+	w, r := cfg.W, cfg.R
+	if w == 0 {
+		w = n/2 + 1
+	}
+	if r == 0 {
+		r = n/2 + 1
+	}
+	if w < 1 || w > n || r < 1 || r > n {
+		return nil, fmt.Errorf("store: quorum W=%d R=%d invalid for %d replicas", w, r, n)
+	}
+	q := &QuorumStore{
+		replicas: replicas,
+		w:        w,
+		r:        r,
+		hedge:    cfg.Hedge,
+		clocks:   make(map[string]func() float64),
+		runOps:   make(map[string]uint64),
+		runLat:   make(map[string]float64),
+		lastLat:  make(map[string]float64),
+	}
+	return q, nil
+}
+
+// Replicas returns the replica count.
+func (q *QuorumStore) Replicas() int { return len(q.replicas) }
+
+// Stats returns a snapshot of quorum-level counters.
+func (q *QuorumStore) Stats() QuorumStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// BindClock forwards the binding to every replica stack and keeps it
+// for the quorum's own bookkeeping.
+func (q *QuorumStore) BindClock(run string, now func() float64) {
+	q.mu.Lock()
+	q.clocks[run] = now
+	q.mu.Unlock()
+	for _, rep := range q.replicas {
+		BindClock(rep, run, now)
+	}
+}
+
+// LastOp returns the run's quorum-operation count and the exact
+// quorum-assembly latency of its most recent operation. Each
+// Save/Load/List/Delete counts as ONE operation regardless of replica
+// fan-out, so executors that difference Ops around a save observe
+// exactly one increment.
+func (q *QuorumStore) LastOp(run string) RunOp {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return RunOp{Ops: q.runOps[run], Latency: q.lastLat[run]}
+}
+
+// RunLatency returns the run's accumulated quorum-assembly latency.
+func (q *QuorumStore) RunLatency(run string) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.runLat[run]
+}
+
+// record books one quorum operation's latency for run.
+func (q *QuorumStore) record(run string, lat float64) {
+	q.mu.Lock()
+	q.runOps[run]++
+	q.runLat[run] += lat
+	q.lastLat[run] = lat
+	q.mu.Unlock()
+}
+
+// replicaOp runs op against replica i and returns the virtual latency
+// the replica stack charged for it (zero when the stack tracks none).
+func (q *QuorumStore) replicaOp(i int, run string, op func(Store) error) (float64, error) {
+	rep := q.replicas[i]
+	before, tracked := LastOp(rep, run)
+	err := op(rep)
+	if !tracked {
+		return 0, err
+	}
+	after, _ := LastOp(rep, run)
+	if after.Ops > before.Ops {
+		return after.Latency, err
+	}
+	return 0, err
+}
+
+// permanentErr classifies a replica failure: quota, corruption and
+// not-found cannot be fixed by retrying the same operation.
+func permanentErr(err error) bool {
+	return errors.Is(err, ErrQuota) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrNotFound)
+}
+
+// quorumErr assembles the representative error for a failed quorum:
+// when enough of the failures are transient that a retry could still
+// assemble the quorum, a transient failure is wrapped (the operation
+// classifies transient); otherwise the first permanent failure is.
+func quorumErr(op, run string, seq uint64, got, need int, failures []error) error {
+	needed := need - got
+	var transient, permanent error
+	transients := 0
+	for _, e := range failures {
+		if e == nil {
+			continue
+		}
+		if permanentErr(e) {
+			if permanent == nil {
+				permanent = e
+			}
+			continue
+		}
+		transients++
+		if transient == nil {
+			transient = e
+		}
+	}
+	rep := transient
+	if transients < needed && permanent != nil {
+		rep = permanent
+	}
+	if rep == nil {
+		rep = fmt.Errorf("no replica reachable")
+	}
+	return fmt.Errorf("store: %s %s/%d: %d/%d replicas: %w: %w", op, run, seq, got, need, ErrQuorum, rep)
+}
+
+// kthSmallest returns the k-th smallest value (1-based) of xs.
+func kthSmallest(xs []float64, k int) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[k-1]
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Save fans the write out to every replica and succeeds once W
+// acknowledge. Charged latency is the W-th fastest acknowledgment;
+// a failed save charges the slowest terminal event.
+func (q *QuorumStore) Save(run string, seq uint64, payload []byte) error {
+	n := len(q.replicas)
+	lats := make([]float64, n)
+	errs := make([]error, n)
+	var acks []float64
+	for i := 0; i < n; i++ {
+		lats[i], errs[i] = q.replicaOp(i, run, func(s Store) error { return s.Save(run, seq, payload) })
+		if errs[i] == nil {
+			acks = append(acks, lats[i])
+		}
+	}
+	if len(acks) >= q.w {
+		q.record(run, kthSmallest(acks, q.w))
+		return nil
+	}
+	q.record(run, maxOf(lats))
+	q.mu.Lock()
+	q.stats.QuorumFailures++
+	q.mu.Unlock()
+	return quorumErr("save", run, seq, len(acks), q.w, errs)
+}
+
+// reply is one replica's answer on the read path. A response is an
+// answer that arrived before the replica's deadline — a payload, or a
+// definite negative (not-found / corrupt). Timeouts are non-responses:
+// their terminal time is still waited on when the quorum cannot be
+// assembled without them.
+type reply struct {
+	idx      int
+	at       float64
+	payload  []byte
+	negative bool // responded, but with not-found or corrupt
+	err      error
+}
+
+// Load assembles a read quorum with hedging: the first R replicas are
+// contacted immediately; if they do not yield R responses, the spare
+// replicas are contacted at the hedge delay (or, without one, after
+// the first wave's slowest terminal event). The returned payload is
+// the first positive response in completion order (ties on replica
+// index); replicas that responded negatively are then repaired off the
+// critical path. All R responses negative means the checkpoint
+// definitively does not exist at this quorum: ErrNotFound.
+func (q *QuorumStore) Load(run string, seq uint64) ([]byte, error) {
+	n := len(q.replicas)
+	contact := func(i int, offset float64) reply {
+		var payload []byte
+		lat, err := q.replicaOp(i, run, func(s Store) error {
+			var ierr error
+			payload, ierr = s.Load(run, seq)
+			return ierr
+		})
+		rp := reply{idx: i, at: offset + lat, err: err}
+		switch {
+		case err == nil:
+			rp.payload = payload
+		case permanentErr(err):
+			rp.negative = true
+		}
+		return rp
+	}
+
+	first := q.r
+	if first > n {
+		first = n
+	}
+	var responses, failures []reply
+	for i := 0; i < first; i++ {
+		rp := contact(i, 0)
+		if rp.err == nil || rp.negative {
+			responses = append(responses, rp)
+		} else {
+			failures = append(failures, rp)
+		}
+	}
+
+	// Hedge: contact the spares when the first wave cannot assemble R
+	// responses on its own.
+	if len(responses) < q.r && first < n {
+		start := q.hedge
+		if start <= 0 {
+			var terminals []float64
+			for _, rp := range responses {
+				terminals = append(terminals, rp.at)
+			}
+			for _, rp := range failures {
+				terminals = append(terminals, rp.at)
+			}
+			start = maxOf(terminals)
+		}
+		q.mu.Lock()
+		q.stats.Hedged++
+		q.mu.Unlock()
+		for i := first; i < n; i++ {
+			rp := contact(i, start)
+			if rp.err == nil || rp.negative {
+				responses = append(responses, rp)
+			} else {
+				failures = append(failures, rp)
+			}
+		}
+	}
+
+	// Completion order: by virtual arrival time, ties on replica index.
+	sort.SliceStable(responses, func(a, b int) bool {
+		if responses[a].at != responses[b].at {
+			return responses[a].at < responses[b].at
+		}
+		return responses[a].idx < responses[b].idx
+	})
+
+	if len(responses) < q.r {
+		var terminals []float64
+		errs := make([]error, 0, len(failures))
+		for _, rp := range responses {
+			terminals = append(terminals, rp.at)
+		}
+		for _, rp := range failures {
+			terminals = append(terminals, rp.at)
+			errs = append(errs, rp.err)
+		}
+		q.record(run, maxOf(terminals))
+		q.mu.Lock()
+		q.stats.QuorumFailures++
+		q.mu.Unlock()
+		return nil, quorumErr("load", run, seq, len(responses), q.r, errs)
+	}
+
+	// The read completes when the R-th response arrives.
+	quorum := responses[:q.r]
+	q.record(run, quorum[q.r-1].at)
+	var payload []byte
+	for _, rp := range quorum {
+		if !rp.negative {
+			payload = rp.payload
+			break
+		}
+	}
+	if payload == nil {
+		// Check late responses too before declaring absence — a spare
+		// that answered after the quorum may still hold the payload
+		// (only possible when W+R ≤ N).
+		for _, rp := range responses[q.r:] {
+			if !rp.negative {
+				payload = rp.payload
+				break
+			}
+		}
+		if payload == nil {
+			return nil, fmt.Errorf("store: load %s/%d: %w", run, seq, ErrNotFound)
+		}
+	}
+
+	// Read repair, off the critical path, in ascending replica index:
+	// every contacted replica that answered with a definite negative
+	// gets the good payload re-written. Repair failures are ignored —
+	// the next read retries.
+	var stale []int
+	for _, rp := range responses {
+		if rp.negative {
+			stale = append(stale, rp.idx)
+		}
+	}
+	sort.Ints(stale)
+	for _, i := range stale {
+		if _, err := q.replicaOp(i, run, func(s Store) error { return s.Save(run, seq, payload) }); err == nil {
+			q.mu.Lock()
+			q.stats.Repairs++
+			q.mu.Unlock()
+		}
+	}
+	return payload, nil
+}
+
+// List contacts every replica and merges the sequence sets of all
+// successful responses (ascending, deduplicated) once at least R
+// replicas answered. Late responses still merge — a conservative
+// union can only offer the executor more fallback points.
+func (q *QuorumStore) List(run string) ([]uint64, error) {
+	n := len(q.replicas)
+	var oks []float64
+	var terminals []float64
+	errs := make([]error, 0, n)
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		var seqs []uint64
+		lat, err := q.replicaOp(i, run, func(s Store) error {
+			var ierr error
+			seqs, ierr = s.List(run)
+			return ierr
+		})
+		terminals = append(terminals, lat)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		oks = append(oks, lat)
+		for _, sq := range seqs {
+			seen[sq] = true
+		}
+	}
+	if len(oks) < q.r {
+		q.record(run, maxOf(terminals))
+		q.mu.Lock()
+		q.stats.QuorumFailures++
+		q.mu.Unlock()
+		return nil, quorumErr("list", run, 0, len(oks), q.r, errs)
+	}
+	q.record(run, kthSmallest(oks, q.r))
+	merged := make([]uint64, 0, len(seen))
+	for sq := range seen {
+		merged = append(merged, sq)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+	return merged, nil
+}
+
+// Delete fans out to every replica; a replica that reports not-found
+// counts as an acknowledgment (the checkpoint is gone there already).
+// The delete succeeds once W replicas acknowledge, and reports
+// ErrNotFound only when every acknowledgment was a not-found.
+func (q *QuorumStore) Delete(run string, seq uint64) error {
+	n := len(q.replicas)
+	lats := make([]float64, n)
+	errs := make([]error, n)
+	var acks []float64
+	deleted := false
+	for i := 0; i < n; i++ {
+		lats[i], errs[i] = q.replicaOp(i, run, func(s Store) error { return s.Delete(run, seq) })
+		if errs[i] == nil || errors.Is(errs[i], ErrNotFound) {
+			acks = append(acks, lats[i])
+			if errs[i] == nil {
+				deleted = true
+			}
+		}
+	}
+	if len(acks) >= q.w {
+		q.record(run, kthSmallest(acks, q.w))
+		if !deleted {
+			return fmt.Errorf("store: delete %s/%d: %w", run, seq, ErrNotFound)
+		}
+		return nil
+	}
+	q.record(run, maxOf(lats))
+	q.mu.Lock()
+	q.stats.QuorumFailures++
+	q.mu.Unlock()
+	return quorumErr("delete", run, seq, len(acks), q.w, errs)
+}
+
+var (
+	_ Store       = (*QuorumStore)(nil)
+	_ ClockBinder = (*QuorumStore)(nil)
+)

@@ -57,6 +57,37 @@ type Unwrapper interface {
 	Unwrap() Store
 }
 
+// ClockBinder is implemented by layers whose outcomes depend on virtual
+// time (RemoteStore evaluates partition windows at delivery time).
+// BindClock registers the time source for one run; an unbound run reads
+// time zero.
+type ClockBinder interface {
+	BindClock(run string, now func() float64)
+}
+
+// BindClock walks the decorator stack of s and registers now as run's
+// virtual-time source with every layer that consumes one. Stores that
+// fan out to several inner stores (QuorumStore) implement ClockBinder
+// themselves and forward the binding to each replica, so a single call
+// at the top of a composed stack reaches every time-dependent layer.
+// Returns the number of layers bound; zero means the stack is
+// time-independent.
+func BindClock(s Store, run string, now func() float64) int {
+	bound := 0
+	for s != nil {
+		if b, isBinder := s.(ClockBinder); isBinder {
+			b.BindClock(run, now)
+			bound++
+		}
+		u, isWrapper := s.(Unwrapper)
+		if !isWrapper {
+			break
+		}
+		s = u.Unwrap()
+	}
+	return bound
+}
+
 // runLatencyReader is the capability behind RunLatency; FaultStore
 // implements it.
 type runLatencyReader interface {

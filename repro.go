@@ -304,6 +304,69 @@ func ExecutePlanResilient(g *Graph, m Model, checkpointAfter []bool, meanLatency
 	}, nil
 }
 
+// ProbeResult is the plan-time store-telemetry measurement
+// (internal/exec.ProbeResult re-exported).
+type ProbeResult = exec.ProbeResult
+
+// TelemetryPlan is the outcome of a telemetry-fed plan-time re-solve:
+// the probe that measured the store, the placement re-solved under
+// effective checkpoint costs C_i + overhead, and the naive placement
+// the configured costs would have produced. Both Expected fields are
+// TRUE-cost expectations (the overhead inflates costs only inside the
+// optimization), so the two plans are directly comparable — and under
+// the REALIZED effective costs the telemetry plan's sparser placement
+// is the one that wins.
+type TelemetryPlan struct {
+	Probe ProbeResult
+	// Plan is the placement re-solved with every checkpoint cost
+	// inflated by the probe's overhead estimate.
+	Plan ChainResult
+	// Naive is the placement solved from the configured costs alone.
+	Naive ChainResult
+	// Overhead is the per-checkpoint overhead the re-solve used
+	// (Probe.Estimate).
+	Overhead float64
+}
+
+// OptimalChainPlanTelemetry closes the planner-feedback loop at PLAN
+// time: it probes the given store stack for its realized per-operation
+// overhead (probeSamples saves under a dedicated run ID; ≤ 0 for the
+// default), then re-solves the chain placement with the effective
+// checkpoint cost C_i + overhead — the same re-solve the executor's
+// online replanning performs mid-run, applied before the run starts.
+// This is the whole-plan counterpart of suffix replanning: a store
+// behind a slow or lossy network yields a sparser placement up front
+// instead of after the first drift detection.
+func OptimalChainPlanTelemetry(g *Graph, m Model, initialRecovery float64, st store.Store, probeSamples int) (TelemetryPlan, error) {
+	cp, _, err := core.NewChainProblem(g, m, initialRecovery)
+	if err != nil {
+		return TelemetryPlan{}, err
+	}
+	naive, err := core.SolveChainDP(cp)
+	if err != nil {
+		return TelemetryPlan{}, err
+	}
+	probe := exec.ProbeStore(st, "telemetry-probe", probeSamples, 0, 0)
+	segs, err := exec.ChainReplanner{CP: cp}.Replan(0, probe.Estimate)
+	if err != nil {
+		return TelemetryPlan{}, err
+	}
+	ck := make([]bool, cp.Len())
+	for _, s := range segs {
+		ck[s.End] = true
+	}
+	expected, err := cp.Makespan(ck)
+	if err != nil {
+		return TelemetryPlan{}, err
+	}
+	return TelemetryPlan{
+		Probe:    probe,
+		Plan:     ChainResult{Expected: expected, CheckpointAfter: ck},
+		Naive:    naive,
+		Overhead: probe.Estimate,
+	}, nil
+}
+
 // Exponential builds the memoryless failure law of the core model.
 func Exponential(lambda float64) (failure.Exponential, error) {
 	return failure.NewExponential(lambda)

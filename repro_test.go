@@ -1,10 +1,14 @@
 package repro_test
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro"
+	"repro/internal/netsim"
+	"repro/internal/store"
 )
 
 func buildChain(t *testing.T) *repro.Graph {
@@ -253,5 +257,63 @@ func TestFacadeDistributions(t *testing.T) {
 	w, err := repro.Weibull(0.7, 10)
 	if err != nil || w.Shape != 0.7 {
 		t.Errorf("Weibull: %v %v", w, err)
+	}
+}
+
+func TestFacadeOptimalChainPlanTelemetry(t *testing.T) {
+	g := repro.NewGraph()
+	prev := -1
+	for i := 0; i < 8; i++ {
+		id, err := g.AddTask(repro.Task{Name: fmt.Sprintf("t%d", i), Weight: 2, Checkpoint: 0.2, Recovery: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 {
+			if err := g.AddEdge(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	m, err := repro.NewModel(0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A store behind a slow deterministic link: every probe measures
+	// exactly the base latency, so the re-solve sees C_eff = C + 2.
+	netCfg := netsim.Config{Seed: 5, Latency: 2}
+	slow := store.Checked(store.NewRemoteStore(store.NewMemStore(), netsim.New(netCfg), netCfg,
+		store.RemoteConfig{Remote: "s0", Timeout: 10}))
+	tp, err := repro.OptimalChainPlanTelemetry(g, m, 0, slow, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Probe.Tracked || tp.Probe.Failures != 0 || tp.Overhead != 2 {
+		t.Fatalf("probe = %+v overhead %v, want tracked failure-free estimate 2", tp.Probe, tp.Overhead)
+	}
+	naiveCk, planCk := len(tp.Naive.Positions()), len(tp.Plan.Positions())
+	if planCk >= naiveCk {
+		t.Errorf("telemetry placement has %d checkpoints, naive %d — a 10x cost should sparsify", planCk, naiveCk)
+	}
+	if tp.Plan.Expected < tp.Naive.Expected {
+		t.Errorf("true-cost expectations inverted: telemetry %v < naive optimum %v", tp.Plan.Expected, tp.Naive.Expected)
+	}
+	if !tp.Plan.CheckpointAfter[len(tp.Plan.CheckpointAfter)-1] {
+		t.Error("final position must stay checkpointed")
+	}
+
+	// An untracked store probes to zero overhead: the telemetry plan
+	// degenerates to the naive optimum.
+	flat, err := repro.OptimalChainPlanTelemetry(g, m, 0, store.NewMemStore(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Probe.Tracked || flat.Overhead != 0 {
+		t.Fatalf("mem-store probe = %+v, want untracked zero overhead", flat.Probe)
+	}
+	if !reflect.DeepEqual(flat.Plan.CheckpointAfter, flat.Naive.CheckpointAfter) {
+		t.Errorf("zero overhead should reproduce the naive placement: %v vs %v",
+			flat.Plan.CheckpointAfter, flat.Naive.CheckpointAfter)
 	}
 }
