@@ -819,6 +819,15 @@ func measureExec() (*Report, error) {
 		return nil, err
 	}
 	record("store_save/kind=quorum", 4096, benchSave(quorum))
+	// Lease layer on top of the mem row: the delta is the per-save fence
+	// check — one lease-record read, epoch comparison, and (amortized)
+	// renewal write through the same codec as the data it guards.
+	leaseStore := store.NewLeaseStore(store.Checked(store.NewMemStore()),
+		store.LeaseConfig{Holder: "bench", TTL: 1e12})
+	if _, err := leaseStore.Acquire("save"); err != nil {
+		return nil, err
+	}
+	record("store_save/kind=lease", 4096, benchSave(leaseStore))
 
 	// Degraded-store resilience rows. exec_adaptive/replan is one
 	// suffix re-solve of the chain DP from the mid-plan frontier — the
@@ -914,6 +923,39 @@ func measureExec() (*Report, error) {
 	}
 	record("exec_partition/store=remote", 64, benchPartition(false))
 	record("exec_partition/store=quorum", 64, benchPartition(true))
+
+	// Anti-entropy row: the quorum partition arm again, now with an
+	// executor-driven sync pass every 3rd commit plus the final one. The
+	// delta against exec_partition/store=quorum prices converging the
+	// partitioned replica during the run instead of leaving it behind.
+	record("exec_sync/store=quorum sync-every=3", 64, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Reset()
+			net := netsim.New(partCfg)
+			reps := make([]store.Store, 3)
+			for k := range reps {
+				reps[k] = store.Checked(store.NewRemoteStore(store.NewMemStore(), net, partCfg,
+					store.RemoteConfig{Remote: fmt.Sprintf("s%d", k), Timeout: 0.25}))
+			}
+			q, err := store.NewQuorumStore(reps, store.QuorumConfig{W: 2, R: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = exec.Execute(w, src, exec.Options{
+				RunID: "bench", Store: q, Downtime: 0.5,
+				Adaptive: &exec.AdaptiveOptions{
+					Retry:      exec.ExpBackoff{Base: 0.1, Cap: 0.5, MaxAttempts: 3},
+					DownAfter:  2,
+					ProbeEvery: 2,
+					SyncEvery:  3,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 	return report, nil
 }
 

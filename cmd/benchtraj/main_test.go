@@ -136,22 +136,24 @@ func TestBenchtrajWritesReport(t *testing.T) {
 		}
 		execByName[m.Name] = m
 	}
-	// Three executor rows (bare + two stores), five raw Save rows (the
-	// networked remote and quorum stacks included), three degraded-store
-	// resilience rows, and two partition-tolerance rows.
+	// Three executor rows (bare + two stores), six raw Save rows (the
+	// networked remote/quorum stacks and the lease guard included),
+	// three degraded-store resilience rows, two partition-tolerance
+	// rows, and the anti-entropy row.
 	for _, name := range []string{
 		"exec_run/store=none", "exec_run/store=mem", "exec_run/store=file",
 		"store_save/kind=mem", "store_save/kind=file", "store_save/kind=quota",
-		"store_save/kind=remote", "store_save/kind=quorum",
+		"store_save/kind=remote", "store_save/kind=quorum", "store_save/kind=lease",
 		"exec_adaptive/replan", "exec_adaptive/run mode=static", "exec_adaptive/run mode=adaptive",
 		"exec_partition/store=remote", "exec_partition/store=quorum",
+		"exec_sync/store=quorum sync-every=3",
 	} {
 		if _, ok := execByName[name]; !ok {
 			t.Errorf("missing %s (have %v)", name, execRep.Results)
 		}
 	}
-	if len(execRep.Results) != 13 {
-		t.Errorf("got %d exec results, want 13", len(execRep.Results))
+	if len(execRep.Results) != 15 {
+		t.Errorf("got %d exec results, want 15", len(execRep.Results))
 	}
 }
 

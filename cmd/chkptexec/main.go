@@ -128,6 +128,14 @@ type config struct {
 	partition   string
 	replicas    int
 	writeQuorum int
+
+	lease     float64
+	holder    string
+	takeover  bool
+	contend   bool
+	syncMode  bool
+	scrub     bool
+	syncEvery int
 }
 
 // networked reports whether any network flag routes the store through
@@ -141,7 +149,13 @@ func (c config) networked() bool {
 // executor.
 func (c config) adaptive() bool {
 	return c.retryPolicy != "" || c.replanThreshold > 1 || c.quota != "" ||
-		c.secondaryDir != "" || c.tenants > 1
+		c.secondaryDir != "" || c.tenants > 1 || c.syncEvery > 0
+}
+
+// maintenance reports whether the invocation is a store-maintenance
+// pass (-sync / -scrub) rather than an execution — no workflow needed.
+func (c config) maintenance() bool {
+	return c.syncMode || c.scrub
 }
 
 func main() {
@@ -176,8 +190,15 @@ func main() {
 	flag.StringVar(&cfg.partition, "partition", "", "partition windows isolating store endpoint s0, e.g. 10:25 or 10:25,40:50 in virtual time (networked)")
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replicate checkpoints across this many networked stores (endpoints s0..s<n-1>, directories <dir>/r<i>)")
 	flag.IntVar(&cfg.writeQuorum, "write-quorum", 0, "write quorum W for -replicas > 1; 0 picks the majority")
+	flag.Float64Var(&cfg.lease, "lease", 0, "epoch-fenced write lease TTL in virtual time: the executor acquires a monotonically increasing epoch before writing, and stale-epoch (zombie) writes fail with ErrFenced (persisted run)")
+	flag.StringVar(&cfg.holder, "holder", "", "lease holder identity (with -lease; default \"exec\")")
+	flag.BoolVar(&cfg.takeover, "takeover", false, "acquire the lease even while another holder's lease is live — fences the old holder (with -lease)")
+	flag.BoolVar(&cfg.contend, "contend", false, "two-executor fencing drill: run an uncontended reference, kill executor a, let b take over, prove the woken zombie is fenced and the survivor journal is bit-identical (requires -lease)")
+	flag.BoolVar(&cfg.syncMode, "sync", false, "maintenance: run one anti-entropy pass converging every replica of -run-id, then exit (requires -dir and -replicas >= 2; no -workflow needed)")
+	flag.BoolVar(&cfg.scrub, "scrub", false, "maintenance: walk every (run, seq) key, repair CRC-corrupt replicas from a clean quorum, fail loudly when none exists (requires -dir and -replicas >= 2; no -workflow needed)")
+	flag.IntVar(&cfg.syncEvery, "sync-every", 0, "run an anti-entropy pass after every k-th committed segment and at completion (adaptive; with -replicas >= 2)")
 	flag.Parse()
-	if cfg.wfPath == "" {
+	if cfg.wfPath == "" && !cfg.maintenance() {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -188,6 +209,9 @@ func main() {
 }
 
 func run(cfg config, out io.Writer) error {
+	if cfg.maintenance() {
+		return runMaintenance(cfg, out)
+	}
 	f, err := os.Open(cfg.wfPath)
 	if err != nil {
 		return err
@@ -211,6 +235,8 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("-trace replays one recorded platform log through one run: set -dir")
 		case cfg.planFromTelemetry:
 			return fmt.Errorf("-plan-from-telemetry probes the persisted store stack: set -dir")
+		case cfg.lease > 0 || cfg.contend:
+			return fmt.Errorf("-lease/-contend fence writes to a persisted store: set -dir")
 		}
 	}
 	overhead := 0.0
@@ -233,6 +259,12 @@ func run(cfg config, out io.Writer) error {
 
 	if cfg.dir == "" {
 		return runCampaign(w, m, planned, cfg, out)
+	}
+	if cfg.contend {
+		if cfg.tenants > 1 || cfg.tracePath != "" {
+			return fmt.Errorf("-contend drives one contended run: drop -tenants/-trace")
+		}
+		return runContend(g, m, planned, cfg, overhead, out)
 	}
 	if cfg.tenants > 1 {
 		if cfg.tracePath != "" {
@@ -564,6 +596,15 @@ func buildStore(cfg config, ledger *store.QuotaLedger) (store.Store, error) {
 			st = reps[0]
 		}
 	}
+	if cfg.lease > 0 {
+		// Epoch-fenced leases ride INSIDE the quota wrapper: the lease
+		// record persists through the same codec/quorum machinery as the
+		// checkpoints it guards, but lease traffic is protocol overhead,
+		// not tenant data, so it stays off the quota ledger.
+		st = store.NewLeaseStore(st, store.LeaseConfig{
+			Holder: cfg.holder, TTL: cfg.lease, Takeover: cfg.takeover,
+		})
+	}
 	if ledger != nil {
 		st = store.NewQuotaStore(ledger, st)
 	}
@@ -580,7 +621,7 @@ func buildAdaptive(cfg config, replanner exec.Replanner) (*exec.AdaptiveOptions,
 	if err != nil {
 		return nil, nil, err
 	}
-	ao := &exec.AdaptiveOptions{Retry: pol, ReplanRatio: cfg.replanThreshold}
+	ao := &exec.AdaptiveOptions{Retry: pol, ReplanRatio: cfg.replanThreshold, SyncEvery: cfg.syncEvery}
 	if cfg.replanThreshold > 1 {
 		ao.Replanner = replanner
 	}
@@ -614,6 +655,9 @@ func reportResult(out io.Writer, prefix string, cfg config, planned float64, res
 		fmt.Fprintf(out, "%sresumed from checkpoint %d (%d journal events restored)\n",
 			prefix, res.ResumeSeq, res.RestoredEvents)
 	}
+	if res != nil && res.Epoch > 0 {
+		fmt.Fprintf(out, "%slease: holding epoch %d\n", prefix, res.Epoch)
+	}
 	if errors.Is(err, exec.ErrCrashed) {
 		fmt.Fprintf(out, "%scrashed as requested: %v\n", prefix, err)
 		fmt.Fprintf(out, "%sstate persists in %s — re-run without the crash flag to resume\n", prefix, cfg.dir)
@@ -632,6 +676,10 @@ func reportResult(out io.Writer, prefix string, cfg config, planned float64, res
 func reportResilience(out io.Writer, prefix string, pol exec.RetryPolicy, res *exec.Result) {
 	fmt.Fprintf(out, "%sresilience: policy %s, replans %d, save give-ups %d, level %s, store overhead %.4f, max rewind exposure %.4f\n",
 		prefix, pol.Name(), res.Replans, res.GiveUps, res.Level, res.StoreOverhead, res.MaxRewind)
+	if res.Syncs > 0 {
+		fmt.Fprintf(out, "%santi-entropy: %d passes, %d replica copies, %d unconverged\n",
+			prefix, res.Syncs, res.SyncCopied, res.SyncFailures)
+	}
 }
 
 // runPersisted executes once against a crash-durable file store,
@@ -728,6 +776,169 @@ func runTenants(g *dag.Graph, m expectation.Model, planned float64, replanner ex
 		if ao != nil && errs[i] == nil {
 			reportResilience(out, prefix, pol, results[i])
 		}
+	}
+	return nil
+}
+
+// runMaintenance serves -sync and -scrub: no workflow, no execution —
+// just deterministic repair passes over the persisted replicated store.
+// With both flags set the scrub runs first (heal rot from clean
+// quorums), then the sync (fill missing/stale copies), so one
+// invocation leaves every reachable replica clean AND converged.
+func runMaintenance(cfg config, out io.Writer) error {
+	if cfg.dir == "" {
+		return fmt.Errorf("-sync/-scrub repair a persisted replicated store: set -dir")
+	}
+	if cfg.replicas < 2 {
+		return fmt.Errorf("-sync/-scrub compare replicas: set -replicas >= 2")
+	}
+	if cfg.contend || cfg.tenants > 1 {
+		return fmt.Errorf("-sync/-scrub are maintenance passes: drop -contend/-tenants")
+	}
+	st, err := buildStore(cfg, nil)
+	if err != nil {
+		return err
+	}
+	if cfg.scrub {
+		sc, ok := store.FindScrubber(st)
+		if !ok {
+			return fmt.Errorf("store stack has no scrubber (need -replicas >= 2)")
+		}
+		rep, err := sc.ScrubRun(cfg.runID)
+		fmt.Fprintf(out, "scrub %s: %d seqs, %d replica copies checked, %d corrupt, %d repaired, %d unrepairable, %d repair writes failed\n",
+			cfg.runID, rep.Seqs, rep.Checked, rep.Corrupt, rep.Repaired, rep.Unrepairable, rep.CopyFailures)
+		if err != nil {
+			return err
+		}
+	}
+	if cfg.syncMode {
+		sy, ok := store.FindSyncer(st)
+		if !ok {
+			return fmt.Errorf("store stack has no syncer (need -replicas >= 2)")
+		}
+		rep, err := sy.SyncRun(cfg.runID)
+		fmt.Fprintf(out, "sync %s: %d seqs, %d replica copies written, %d verified in sync, %d load failures, %d copy failures, %d replicas unlisted — converged %v\n",
+			cfg.runID, rep.Seqs, rep.Copied, rep.InSync, rep.LoadFailures, rep.CopyFailures, rep.Unlisted, rep.Converged())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runContend drives the two-executor fencing drill end to end inside
+// -dir: an uncontended leased reference run under <dir>/ref, then a
+// contended run under <dir>/main where executor a is killed at the
+// -crash-events point, executor b takes the run over with a higher
+// epoch (and is itself killed after one save), the woken zombie a is
+// fenced on its first write, and the surviving b resumes to completion.
+// The drill fails unless the survivor's journal is bit-identical to the
+// uncontended reference — fencing means the loser never interleaved.
+func runContend(g *dag.Graph, m expectation.Model, planned float64, cfg config, overhead float64, out io.Writer) error {
+	if cfg.lease <= 0 {
+		return fmt.Errorf("-contend is a fencing drill: set -lease <ttl>")
+	}
+	crash := cfg.crashEvents
+	if crash <= 0 {
+		crash = 40
+	}
+	exe := func(c config, st store.Store, crashEvents, crashSaves int) (*exec.Result, error) {
+		w, replanner, _, err := buildWorkload(g, m, c, overhead)
+		if err != nil {
+			return nil, err
+		}
+		ao, _, err := buildAdaptive(c, replanner)
+		if err != nil {
+			return nil, err
+		}
+		src, _, err := buildSource(c, m)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Execute(w, src, exec.Options{
+			RunID: c.runID, Store: st, Downtime: m.Downtime,
+			SaveRetries: c.retries, CrashAfterEvents: crashEvents, CrashAfterSaves: crashSaves,
+			Adaptive: ao,
+		})
+	}
+
+	refCfg := cfg
+	refCfg.dir = filepath.Join(cfg.dir, "ref")
+	refCfg.holder = "ref"
+	refStore, err := buildStore(refCfg, nil)
+	if err != nil {
+		return err
+	}
+	ref, err := exe(refCfg, refStore, 0, 0)
+	if err != nil {
+		return fmt.Errorf("contend reference run: %w", err)
+	}
+	fmt.Fprintf(out, "contend: reference (epoch %d) journal: %d events, hash %016x\n",
+		ref.Epoch, len(ref.Journal), ref.Journal.Hash())
+
+	mainCfg := cfg
+	mainCfg.dir = filepath.Join(cfg.dir, "main")
+
+	aCfg := mainCfg
+	aCfg.holder = "a"
+	aStore, err := buildStore(aCfg, nil)
+	if err != nil {
+		return err
+	}
+	resA, err := exe(aCfg, aStore, crash, 0)
+	if !errors.Is(err, exec.ErrCrashed) {
+		return fmt.Errorf("contend: executor a finished before the kill point (%v): set -crash-events below the run's %d events", err, len(ref.Journal))
+	}
+	fmt.Fprintf(out, "contend: executor a (epoch %d) killed after %d journal events\n", resA.Epoch, crash)
+
+	bCfg := mainCfg
+	bCfg.holder = "b"
+	bCfg.takeover = true
+	bStore, err := buildStore(bCfg, nil)
+	if err != nil {
+		return err
+	}
+	resB, err := exe(bCfg, bStore, 0, 1)
+	switch {
+	case errors.Is(err, exec.ErrCrashed):
+		fmt.Fprintf(out, "contend: executor b (epoch %d) took the run over, killed after one save\n", resB.Epoch)
+	case err == nil:
+		fmt.Fprintf(out, "contend: executor b (epoch %d) took the run over and completed\n", resB.Epoch)
+	default:
+		return fmt.Errorf("contend: executor b: %w", err)
+	}
+
+	// Zombie a wakes up on its ORIGINAL store instance — stale lease
+	// session, stale epoch — and must be fenced on its first write (or
+	// complete write-free with the identical journal when b already
+	// finished the run).
+	zRes, zErr := exe(aCfg, aStore, 0, 0)
+	switch {
+	case errors.Is(zErr, store.ErrFenced):
+		fmt.Fprintf(out, "contend: zombie a fenced: %v\n", zErr)
+	case zErr == nil && zRes.Journal.Equal(ref.Journal):
+		fmt.Fprintf(out, "contend: zombie a had no writes left (journal already complete)\n")
+	case zErr == nil:
+		return fmt.Errorf("contend: zombie a completed UNFENCED with a diverged journal (hash %016x, reference %016x)",
+			zRes.Journal.Hash(), ref.Journal.Hash())
+	default:
+		return fmt.Errorf("contend: zombie a: %w", zErr)
+	}
+
+	survStore, err := buildStore(bCfg, nil)
+	if err != nil {
+		return err
+	}
+	surv, err := exe(bCfg, survStore, 0, 0)
+	if err != nil {
+		return fmt.Errorf("contend survivor run: %w", err)
+	}
+	fmt.Fprintf(out, "contend: survivor (epoch %d) journal: %d events, hash %016x\n",
+		surv.Epoch, len(surv.Journal), surv.Journal.Hash())
+	identical := surv.Journal.Equal(ref.Journal)
+	fmt.Fprintf(out, "contend: survivor journal identical to uncontended reference: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("contend: survivor journal diverged from the uncontended reference")
 	}
 	return nil
 }

@@ -10,9 +10,12 @@ import (
 	"strings"
 	"testing"
 
+	"errors"
+
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -561,5 +564,231 @@ func TestPlanFromTelemetry(t *testing.T) {
 	telSegs, _ := strconv.Atoi(telM[1])
 	if telSegs >= naiveSegs {
 		t.Errorf("telemetry plan has %d segments, naive %d — a slow store should sparsify", telSegs, naiveSegs)
+	}
+}
+
+// TestPersistedLeasedRun pins the single-writer lease path: the run
+// holds epoch 1, a crash/resume cycle re-acquires a higher epoch in the
+// new process, and the lease traffic is invisible to the journal — the
+// leased journal matches a lease-free reference bit for bit.
+func TestPersistedLeasedRun(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+
+	ref := baseConfig(wf)
+	ref.dir = filepath.Join(base, "ref")
+	var refOut bytes.Buffer
+	if err := run(ref, &refOut); err != nil {
+		t.Fatal(err)
+	}
+	refM := journalLine.FindStringSubmatch(refOut.String())
+	if refM == nil {
+		t.Fatalf("no journal line in reference output:\n%s", refOut.String())
+	}
+
+	leased := baseConfig(wf)
+	leased.dir = filepath.Join(base, "leased")
+	leased.lease = 1e9
+	leased.crashEvents = 10
+	var crashOut bytes.Buffer
+	if err := run(leased, &crashOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lease: holding epoch 1", "crashed as requested"} {
+		if !strings.Contains(crashOut.String(), want) {
+			t.Fatalf("crash output missing %q:\n%s", want, crashOut.String())
+		}
+	}
+
+	resumed := leased
+	resumed.crashEvents = 0
+	var resOut bytes.Buffer
+	if err := run(resumed, &resOut); err != nil {
+		t.Fatal(err)
+	}
+	s := resOut.String()
+	for _, want := range []string{"resumed from checkpoint", "lease: holding epoch 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("resume output missing %q:\n%s", want, s)
+		}
+	}
+	resM := journalLine.FindStringSubmatch(s)
+	if resM == nil {
+		t.Fatalf("no journal line in resumed output:\n%s", s)
+	}
+	if resM[1] != refM[1] || resM[2] != refM[2] {
+		t.Errorf("leased journal %s/%s differs from lease-free reference %s/%s",
+			resM[1], resM[2], refM[1], refM[2])
+	}
+}
+
+// TestContendFencingDrill runs the CLI's two-executor drill: executor a
+// is killed mid-run, b takes the lease over, the woken zombie a is
+// fenced, and the survivor's journal is bit-identical to the
+// uncontended reference.
+func TestContendFencingDrill(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	cfg := baseConfig(wf)
+	cfg.dir = filepath.Join(base, "drill")
+	cfg.lease = 1e9
+	cfg.contend = true
+	cfg.crashEvents = 10
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("contend drill failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"contend: reference (epoch 1)",
+		"contend: executor a (epoch 1) killed after 10 journal events",
+		"contend: executor b (epoch 2) took the run over",
+		"contend: zombie a fenced",
+		"contend: survivor journal identical to uncontended reference: true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("drill output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// replicaFiles lists the checkpoint files one replica directory holds.
+func replicaFiles(t *testing.T, dir string, replica int, runID string) []string {
+	t.Helper()
+	pat := filepath.Join(dir, fmt.Sprintf("r%d", replica), runID, "ckpt-*")
+	files, err := filepath.Glob(pat)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoint files match %s (%v)", pat, err)
+	}
+	return files
+}
+
+var syncLine = regexp.MustCompile(`sync run: (\d+) seqs, (\d+) replica copies written`)
+
+// TestMaintenanceSync pins `chkptexec -sync`: a checkpoint deleted from
+// one replica after a clean quorum run is copied back by one
+// anti-entropy pass (no workflow needed), and a second pass is a no-op.
+func TestMaintenanceSync(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	cfg := baseConfig(wf)
+	cfg.dir = filepath.Join(base, "store")
+	cfg.netLatency = 0.05
+	cfg.netSeed = 9
+	cfg.replicas = 3
+	if err := run(cfg, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose one checkpoint from replica r2 behind the quorum's back.
+	files := replicaFiles(t, cfg.dir, 2, "run")
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	maint := config{dir: cfg.dir, runID: "run", replicas: 3, netLatency: 0.05, netSeed: 9, syncMode: true}
+	var out bytes.Buffer
+	if err := run(maint, &out); err != nil {
+		t.Fatalf("sync pass: %v\n%s", err, out.String())
+	}
+	m := syncLine.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no sync line:\n%s", out.String())
+	}
+	if copied, _ := strconv.Atoi(m[2]); copied < 1 {
+		t.Errorf("sync copied %s replicas, want >= 1:\n%s", m[2], out.String())
+	}
+	if !strings.Contains(out.String(), "converged true") {
+		t.Errorf("sync did not converge:\n%s", out.String())
+	}
+
+	// A second pass finds nothing to do.
+	var again bytes.Buffer
+	if err := run(maint, &again); err != nil {
+		t.Fatal(err)
+	}
+	m = syncLine.FindStringSubmatch(again.String())
+	if m == nil || m[2] != "0" {
+		t.Errorf("second sync pass not a no-op:\n%s", again.String())
+	}
+	if len(replicaFiles(t, cfg.dir, 2, "run")) != len(replicaFiles(t, cfg.dir, 0, "run")) {
+		t.Error("replica r2 still missing checkpoints after sync")
+	}
+}
+
+// tearFile truncates a checkpoint file's tail so the CRC frame no
+// longer decodes — the same torn-write shape the Checked codec detects.
+func tearFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) < 4 {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaintenanceScrub pins `chkptexec -scrub`: one torn replica copy
+// is detected and repaired from the clean quorum; tearing the same
+// checkpoint on two of three replicas leaves no clean quorum and the
+// scrub fails with the typed unrepairable error.
+func TestMaintenanceScrub(t *testing.T) {
+	base := t.TempDir()
+	wf := chainWorkflow(t, base, 12)
+	cfg := baseConfig(wf)
+	cfg.dir = filepath.Join(base, "store")
+	cfg.netLatency = 0.05
+	cfg.netSeed = 9
+	cfg.replicas = 3
+	if err := run(cfg, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	tearFile(t, replicaFiles(t, cfg.dir, 1, "run")[0])
+	maint := config{dir: cfg.dir, runID: "run", replicas: 3, netLatency: 0.05, netSeed: 9, scrub: true}
+	var out bytes.Buffer
+	if err := run(maint, &out); err != nil {
+		t.Fatalf("scrub pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 corrupt, 1 repaired, 0 unrepairable") {
+		t.Errorf("scrub did not repair the torn replica:\n%s", out.String())
+	}
+
+	// Rot on two of three replicas beats the R=2 clean quorum.
+	tearFile(t, replicaFiles(t, cfg.dir, 0, "run")[0])
+	tearFile(t, replicaFiles(t, cfg.dir, 1, "run")[0])
+	err := run(maint, &bytes.Buffer{})
+	if !errors.Is(err, store.ErrUnrepairable) {
+		t.Errorf("scrub with no clean quorum = %v, want ErrUnrepairable", err)
+	}
+}
+
+// TestMultiWriterFlagValidation pins the rejection matrix for the
+// lease, contend, and maintenance flags.
+func TestMultiWriterFlagValidation(t *testing.T) {
+	wf := chainWorkflow(t, t.TempDir(), 8)
+
+	lease := baseConfig(wf)
+	lease.lease = 10
+	if err := run(lease, &bytes.Buffer{}); err == nil {
+		t.Error("-lease without -dir accepted")
+	}
+
+	contend := baseConfig(wf)
+	contend.dir = t.TempDir()
+	contend.contend = true
+	if err := run(contend, &bytes.Buffer{}); err == nil {
+		t.Error("-contend without -lease accepted")
+	}
+
+	if err := run(config{syncMode: true, runID: "run"}, &bytes.Buffer{}); err == nil {
+		t.Error("-sync without -dir accepted")
+	}
+	if err := run(config{scrub: true, runID: "run", dir: t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Error("-scrub with a single replica accepted")
+	}
+	if err := run(config{syncMode: true, runID: "run", dir: t.TempDir(), replicas: 3, contend: true}, &bytes.Buffer{}); err == nil {
+		t.Error("-sync combined with -contend accepted")
 	}
 }

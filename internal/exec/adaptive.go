@@ -78,6 +78,18 @@ type AdaptiveOptions struct {
 	// resumes committing once the network heals. Zero keeps the
 	// legacy one-way ladder: down stays down for the rest of the run.
 	ProbeEvery int
+	// SyncEvery, when positive, runs an anti-entropy pass over the
+	// active store after every SyncEvery-th committed segment (by
+	// absolute segment index, so the cadence is resume-invariant) and
+	// once more after completion — the executor's idle points. Each
+	// pass calls the stack's RunSyncer (quorum SyncRun) to converge
+	// replicas that missed writes during a partition, without waiting
+	// for read traffic. Passes never journal, never advance the
+	// virtual clock, and draw only attempt-keyed store randomness, so
+	// kill/resume journal identity is untouched. Zero disables
+	// executor-driven syncs; requires a stack with a RunSyncer to have
+	// any effect.
+	SyncEvery int
 }
 
 func (a *AdaptiveOptions) retry() RetryPolicy {

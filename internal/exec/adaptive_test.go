@@ -30,6 +30,14 @@ func TestClassifyStoreError(t *testing.T) {
 		{"not found", store.ErrNotFound, ClassPermanent},
 		{"fingerprint", fmt.Errorf("resume: %w", ErrFingerprint), ClassFatal},
 		{"malformed state", fmt.Errorf("decode: %w", errState), ClassFatal},
+		{"timeout", store.ErrTimeout, ClassTransient},
+		{"wrapped timeout", fmt.Errorf("save r/3: %w", store.ErrTimeout), ClassTransient},
+		{"quorum wrapping timeout", fmt.Errorf("save r/3: 1/2 replicas: %w: %w", store.ErrQuorum, store.ErrTimeout), ClassTransient},
+		{"fenced", store.ErrFenced, ClassFatal},
+		{"wrapped fenced", fmt.Errorf("save r/3: %w (epoch 2 supersedes 1)", store.ErrFenced), ClassFatal},
+		{"lease expired", store.ErrLeaseExpired, ClassTransient},
+		{"wrapped lease expired", fmt.Errorf("save r/3: %w: %w", store.ErrLeaseExpired, store.ErrTimeout), ClassTransient},
+		{"lease held", store.ErrLeaseHeld, ClassTransient},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

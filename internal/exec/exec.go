@@ -94,6 +94,17 @@ type Result struct {
 	// realized-telemetry figure a planner can feed back into a
 	// latency-aware re-solve (see ProbeStore and ChainReplanner).
 	OverheadEstimate float64
+	// Epoch is the fencing epoch this invocation held, when the store
+	// stack carries a lease layer (0 otherwise). A resumed run reports
+	// a strictly higher epoch than the invocation it took over from.
+	Epoch uint64
+	// Syncs counts anti-entropy passes run at executor idle points,
+	// SyncCopied the replica copies those passes wrote, and
+	// SyncFailures the passes that could not fully converge (e.g.
+	// mid-partition) and will be retried at the next idle point.
+	Syncs        int
+	SyncCopied   int
+	SyncFailures int
 }
 
 // Options tunes an execution.
@@ -179,6 +190,11 @@ type executor struct {
 	maxRewind    float64
 	baseCost     float64
 
+	// Anti-entropy pass counters (SyncEvery > 0); never journaled.
+	syncs        int
+	syncCopied   int
+	syncFailures int
+
 	// pending is the in-flight store overhead of the current save loop
 	// (accrued latency + backoffs not yet folded into t). The virtual
 	// clock bound to time-dependent store layers reads t + pending, so
@@ -237,6 +253,20 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 		}
 	}
 	res := &Result{}
+	if opts.Store != nil {
+		// Epoch-fenced writes: when the stack carries a lease layer,
+		// claim the run before touching it. A fresh LeaseStore instance
+		// (a new process) bumps the epoch, fencing every older writer's
+		// saves; re-entering on the same instance (a zombie waking up)
+		// keeps its stale session and is fenced on its first write.
+		ls, leased, lerr := store.AcquireLease(opts.Store, opts.runID())
+		if lerr != nil {
+			return res, fmt.Errorf("exec: acquiring run lease: %w", lerr)
+		}
+		if leased {
+			res.Epoch = ls.Epoch
+		}
+	}
 	startSeg := 0
 	st, raw, err := ex.loadResume()
 	if err != nil {
@@ -276,8 +306,22 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 			if err := ex.commit(s); err != nil {
 				return err
 			}
+			// Anti-entropy at the executor's idle point between commits,
+			// keyed to the absolute segment index so the cadence is
+			// resume-invariant.
+			if ex.ad != nil && ex.ad.SyncEvery > 0 && (s+1)%ex.ad.SyncEvery == 0 {
+				ex.syncPass()
+			}
 		}
-		return ex.event(Event{Kind: EvComplete, Time: ex.t})
+		if err := ex.event(Event{Kind: EvComplete, Time: ex.t}); err != nil {
+			return err
+		}
+		// One final pass after completion so the run ends with every
+		// replica it can reach converged.
+		if ex.ad != nil && ex.ad.SyncEvery > 0 {
+			ex.syncPass()
+		}
+		return nil
 	}()
 	ex.met.Makespan = ex.t
 	if ex.ad != nil {
@@ -294,7 +338,28 @@ func Execute(w *Workload, src Source, opts Options) (*Result, error) {
 	if ex.ad != nil {
 		res.OverheadEstimate = ex.health.OverheadEstimate()
 	}
+	res.Syncs = ex.syncs
+	res.SyncCopied = ex.syncCopied
+	res.SyncFailures = ex.syncFailures
 	return res, err
+}
+
+// syncPass runs one anti-entropy pass over the active store, best
+// effort: failures are counted, not surfaced — a pass that could not
+// converge (mid-partition) is retried at the next idle point, and the
+// read path still repairs in the meantime. Nothing here journals or
+// advances the virtual clock, so replay identity is untouched.
+func (ex *executor) syncPass() {
+	sy, ok := store.FindSyncer(ex.opts.Store)
+	if !ok {
+		return
+	}
+	rep, err := sy.SyncRun(ex.opts.runID())
+	ex.syncs++
+	ex.syncCopied += rep.Copied
+	if err != nil {
+		ex.syncFailures++
+	}
 }
 
 // event appends to the journal and fires the event-count crash point.

@@ -46,6 +46,16 @@ func ClassifyStoreError(err error) ErrorClass {
 	switch {
 	case errors.Is(err, ErrFingerprint) || errors.Is(err, errState):
 		return ClassFatal
+	case errors.Is(err, store.ErrFenced):
+		// A higher-epoch lease fenced this write: another executor owns
+		// the run now. Retrying or degrading would interleave two
+		// writers' histories — the zombie must abort loudly.
+		return ClassFatal
+	case errors.Is(err, store.ErrLeaseExpired), errors.Is(err, store.ErrLeaseHeld):
+		// The lease could not be confirmed (or is briefly held): nothing
+		// proves a competing writer, so retrying re-validates — and a
+		// renewal riding a healed partition succeeds.
+		return ClassTransient
 	case errors.Is(err, store.ErrTimeout):
 		// A remote operation that missed its deadline — lost message,
 		// partition window, or a slow link. Partitions heal: retry, back

@@ -26,13 +26,13 @@ func parseID(id string) (int, bool) {
 }
 
 // registryNums is the expected experiment numbering: E1–E16 plus the
-// runtime experiments E18–E20. The numbering deliberately skips E17:
+// runtime experiments E18–E21. The numbering deliberately skips E17:
 // the slot was left unassigned when the executor work (E18) landed as
 // one block, and it stays reserved for the DAG-structure sweep on the
 // roadmap rather than being backfilled — renumbering published
 // experiments would invalidate the recorded EXPERIMENTS.md tables,
 // which cite IDs.
-var registryNums = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18, 19, 20}
+var registryNums = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 18, 19, 20, 21}
 
 func TestRegistryComplete(t *testing.T) {
 	all := expt.All()
@@ -68,7 +68,7 @@ func TestByID(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	ids := expt.IDs()
-	if len(ids) != len(registryNums) || ids[0] != "E1" || ids[15] != "E16" || ids[16] != "E18" || ids[18] != "E20" {
+	if len(ids) != len(registryNums) || ids[0] != "E1" || ids[15] != "E16" || ids[16] != "E18" || ids[18] != "E20" || ids[19] != "E21" {
 		t.Errorf("IDs() = %v", ids)
 	}
 }

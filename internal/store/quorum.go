@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -212,7 +213,9 @@ func quorumErr(op, run string, seq uint64, got, need int, failures []error) erro
 	return fmt.Errorf("store: %s %s/%d: %d/%d replicas: %w: %w", op, run, seq, got, need, ErrQuorum, rep)
 }
 
-// kthSmallest returns the k-th smallest value (1-based) of xs.
+// kthSmallest returns the k-th smallest value (1-based) of xs by
+// sorting a copy: O(n log n) on quorum-sized inputs, duplicate values
+// occupy adjacent ranks, and xs is never mutated.
 func kthSmallest(xs []float64, k int) float64 {
 	ys := append([]float64(nil), xs...)
 	sort.Float64s(ys)
@@ -386,12 +389,13 @@ func (q *QuorumStore) Load(run string, seq uint64) ([]byte, error) {
 	}
 
 	// Read repair, off the critical path, in ascending replica index:
-	// every contacted replica that answered with a definite negative
-	// gets the good payload re-written. Repair failures are ignored —
-	// the next read retries.
+	// every contacted replica that answered with a definite negative —
+	// or with payload bytes that diverge from the chosen one — gets the
+	// good payload re-written. Repair failures are ignored — the next
+	// read (or an anti-entropy pass) retries.
 	var stale []int
 	for _, rp := range responses {
-		if rp.negative {
+		if rp.negative || (rp.err == nil && !bytes.Equal(rp.payload, payload)) {
 			stale = append(stale, rp.idx)
 		}
 	}

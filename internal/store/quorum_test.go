@@ -36,6 +36,103 @@ func quorumStack(netCfg netsim.Config, qcfg QuorumConfig, n int, faults FaultPla
 	return q, mems
 }
 
+// TestKthSmallest pins the quorum-assembly selection directly: exact
+// ranks at both ends, duplicate values occupying adjacent ranks, and
+// no mutation of the input.
+func TestKthSmallest(t *testing.T) {
+	for _, tc := range []struct {
+		xs   []float64
+		k    int
+		want float64
+	}{
+		{[]float64{5}, 1, 5},
+		{[]float64{3, 1, 2}, 1, 1},
+		{[]float64{3, 1, 2}, 2, 2},
+		{[]float64{3, 1, 2}, 3, 3},
+		{[]float64{2, 2, 2}, 1, 2},
+		{[]float64{2, 2, 2}, 3, 2},
+		{[]float64{4, 1, 4, 1}, 2, 1}, // ties: duplicate ranks adjacent
+		{[]float64{4, 1, 4, 1}, 3, 4},
+		{[]float64{0.3, 0.1, 0.2, 0.1, 0.3}, 4, 0.3},
+	} {
+		if got := kthSmallest(tc.xs, tc.k); got != tc.want {
+			t.Errorf("kthSmallest(%v, %d) = %g, want %g", tc.xs, tc.k, got, tc.want)
+		}
+	}
+	xs := []float64{9, 7, 8}
+	_ = kthSmallest(xs, 2)
+	if !reflect.DeepEqual(xs, []float64{9, 7, 8}) {
+		t.Fatalf("kthSmallest mutated its input: %v", xs)
+	}
+}
+
+// TestQuorumReadRepairConvergence is the property test behind the
+// read-repair claim: after a quorum Load over deterministically
+// diverged replicas — any mix of missing copies, torn frames, and
+// divergent-but-valid payloads — every CONTACTED replica holds the
+// chosen payload bit-for-bit. With R=N that is all N replicas.
+func TestQuorumReadRepairConvergence(t *testing.T) {
+	// Each scenario describes replica i's state before the Load:
+	// "ok" (canonical), "missing", "torn", "divergent" (valid frame,
+	// different bytes).
+	scenarios := [][]string{
+		{"ok", "missing", "torn"},
+		{"ok", "torn", "torn"},
+		{"missing", "ok", "divergent"},
+		{"divergent", "ok", "missing"},
+		{"ok", "divergent", "divergent"},
+		{"torn", "missing", "ok"},
+	}
+	for si, sc := range scenarios {
+		t.Run(fmt.Sprintf("scenario_%d", si), func(t *testing.T) {
+			q, mems := quorumStack(netsim.Config{Seed: uint64(40 + si), Latency: 0.05}, QuorumConfig{W: 3, R: 3}, 3, FaultPlan{})
+			if err := q.Save("r", 1, []byte("canonical")); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			for i, state := range sc {
+				switch state {
+				case "missing":
+					if err := mems[i].Delete("r", 1); err != nil {
+						t.Fatalf("replica %d delete: %v", i, err)
+					}
+				case "torn":
+					raw, _ := mems[i].Load("r", 1)
+					if err := mems[i].Save("r", 1, raw[:len(raw)-3]); err != nil {
+						t.Fatalf("replica %d tear: %v", i, err)
+					}
+				case "divergent":
+					if err := Checked(mems[i]).Save("r", 1, []byte("from another era")); err != nil {
+						t.Fatalf("replica %d divergent plant: %v", i, err)
+					}
+				}
+			}
+			payload, err := q.Load("r", 1)
+			if err != nil {
+				t.Fatalf("Load over diverged replicas: %v", err)
+			}
+			ref, err := mems[0].Load("r", 1)
+			if err != nil {
+				t.Fatalf("replica 0 raw load: %v", err)
+			}
+			for i := 1; i < 3; i++ {
+				got, err := mems[i].Load("r", 1)
+				if err != nil {
+					t.Fatalf("replica %d raw load after repair: %v", i, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("replica %d raw frame diverges from replica 0 after read repair", i)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				got, err := q.replicas[i].Load("r", 1)
+				if err != nil || string(got) != string(payload) {
+					t.Fatalf("replica %d decoded = %q, %v; want the chosen payload %q", i, got, err, payload)
+				}
+			}
+		})
+	}
+}
+
 func TestQuorumRoundTrip(t *testing.T) {
 	q, mems := quorumStack(netsim.Config{Seed: 1, Latency: 0.1, Jitter: 0.1}, QuorumConfig{}, 3, FaultPlan{})
 	payload := []byte("state")
